@@ -1,0 +1,15 @@
+"""Ablation: the scoreboard aggregation unit vs naive off-chip RMW.
+
+The unit's merge + scoreboard + Gaussian cache must hide most DRAM
+latency and cut gradient traffic."""
+
+from repro.bench import figures, print_table
+
+
+def test_ablation_aggregation(benchmark, bundle):
+    rows = benchmark.pedantic(figures.ablation_aggregation_unit,
+                              kwargs={"bundle": bundle}, rounds=1,
+                              iterations=1)
+    print_table("Ablation - aggregation unit", rows)
+    speed = [r for r in rows if r["variant"] == "speedup"][0]
+    assert speed["cycles"] > 2.0, "scoreboard must clearly beat naive RMW"

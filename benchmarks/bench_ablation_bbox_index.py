@@ -1,0 +1,13 @@
+"""Ablation: direct bbox indexing in the projection unit (Sec. V-C) vs
+scanning the whole sampled-pixel list per Gaussian."""
+
+from repro.bench import figures, print_table
+
+
+def test_ablation_bbox_index(benchmark, bundle):
+    rows = benchmark.pedantic(figures.ablation_bbox_indexing,
+                              kwargs={"bundle": bundle}, rounds=1,
+                              iterations=1)
+    print_table("Ablation - direct bbox indexing", rows)
+    slow = [r for r in rows if r["variant"] == "slowdown"][0]
+    assert slow["total_us"] > 1.0, "removing direct indexing must cost cycles"

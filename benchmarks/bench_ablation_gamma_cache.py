@@ -1,0 +1,14 @@
+"""Ablation: caching Gamma/C in the rasterization engine's double buffer
+(Sec. V-B) vs recomputing the reduction in the reverse render units."""
+
+from repro.bench import figures, print_table
+
+
+def test_ablation_gamma_cache(benchmark, bundle):
+    rows = benchmark.pedantic(figures.ablation_gamma_cache,
+                              kwargs={"bundle": bundle}, rounds=1,
+                              iterations=1)
+    print_table("Ablation - Gamma/C cache", rows)
+    slow = [r for r in rows if r["variant"] == "slowdown"][0]
+    assert slow["stage_us"] > 1.5, "reverse stage must pay for the missing cache"
+    assert slow["total_us"] >= 1.0

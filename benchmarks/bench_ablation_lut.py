@@ -1,0 +1,15 @@
+"""Ablation: exp-LUT size in the projection unit's alpha filters.
+
+Paper claim: a 64-entry LUT suffices to maintain accuracy."""
+
+from repro.bench import figures, print_table
+
+
+def test_ablation_lut(benchmark, bundle):
+    rows = benchmark.pedantic(figures.ablation_lut,
+                              kwargs={"bundle": bundle}, rounds=1,
+                              iterations=1)
+    print_table("Ablation - exp LUT size", rows)
+    by = {r["entries"]: r for r in rows}
+    assert by[64]["render_psnr_db"] > 40.0, "64 entries must be transparent"
+    assert by[64]["render_psnr_db"] > by[8]["render_psnr_db"]

@@ -1,0 +1,17 @@
+"""Ablation: preemptive alpha-checking (Sec. IV-B / V-B).
+
+Moving alpha-checking into projection must speed up the accelerator's
+render path (which otherwise idles on rejected pairs)."""
+
+from repro.bench import figures, print_table
+
+
+def test_ablation_preemptive(benchmark, bundle):
+    rows = benchmark.pedantic(figures.ablation_preemptive_alpha,
+                              kwargs={"bundle": bundle}, rounds=1,
+                              iterations=1)
+    print_table("Ablation - preemptive alpha-checking", rows)
+    by = {r["variant"]: r for r in rows}
+    assert by["hw_raster_slowdown_without"]["value"] > 1.2, (
+        "render units must pay for in-raster alpha-checking")
+    assert by["sw_alpha_share_without_preemption"]["value"] > 0.2

@@ -1,0 +1,15 @@
+"""Sec. VI area: SPLATONIC's component breakdown vs GSCore / GSArch.
+
+Paper shape: ~1.07 mm^2 total at 16 nm (smaller than GSCore's 1.77 and
+GSArch's 3.42), rasterization engines ~28 %, SRAM ~15 %."""
+
+from repro.bench import figures, print_table
+
+
+def test_area_table(benchmark):
+    rows = benchmark.pedantic(figures.area_table, rounds=1, iterations=1)
+    print_table("Area (Sec. VI)", rows)
+    total = [r for r in rows if r["component"] == "TOTAL (16nm)"][0]
+    assert 0.8 < total["area_mm2"] < 1.4
+    raster = [r for r in rows if r["component"] == "raster_engines"][0]
+    assert 0.15 < raster["share"] < 0.45

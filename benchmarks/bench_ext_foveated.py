@@ -1,0 +1,49 @@
+"""Extension bench (Sec. IX discussion): foveated rendering on the
+pixel-based pipeline.
+
+The paper argues its pipeline accelerates sparse workloads beyond SLAM —
+foveated VR rendering in particular.  This bench samples a gaze-contingent
+pattern, measures one forward iteration's workload, and compares the
+pixel-based pipeline (SW and SPLATONIC-HW) against the dense tile baseline
+on the hardware models.
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.core import sample_foveated_pixels
+from repro.hw import GpuModel, SplatonicAccelerator, measure_iteration
+
+
+def run_foveated(bundle):
+    gaze = (bundle.width / 2, bundle.height / 2)
+    pixels = sample_foveated_pixels(bundle.width, bundle.height, gaze,
+                                    np.random.default_rng(0))
+    f_p, f_g = bundle.pixel_factor, bundle.gaussian_factor
+    frame = bundle.frame
+    dense = measure_iteration(bundle.cloud, bundle.camera, frame.color,
+                              frame.depth, "tile").upscale(f_p, f_g)
+    fov = measure_iteration(bundle.cloud, bundle.camera, frame.color,
+                            frame.depth, "pixel", pixels).upscale(f_p, f_g)
+    gpu = GpuModel()
+    t_dense = gpu.iteration_times(dense).total
+    t_fov = gpu.iteration_times(fov).total
+    hw = SplatonicAccelerator().iteration_report(fov)
+    return [
+        {"variant": "dense GPU", "pixels": dense.fwd.num_pixels,
+         "speedup": 1.0},
+        {"variant": "foveated SW", "pixels": fov.fwd.num_pixels,
+         "speedup": t_dense / t_fov},
+        {"variant": "foveated SPLATONIC-HW", "pixels": fov.fwd.num_pixels,
+         "speedup": t_dense / hw.total_s},
+    ]
+
+
+def test_ext_foveated(benchmark, bundle):
+    rows = benchmark.pedantic(run_foveated, args=(bundle,), rounds=1,
+                              iterations=1)
+    print_table("Extension - foveated rendering on the pixel pipeline", rows)
+    sw = [r for r in rows if r["variant"] == "foveated SW"][0]
+    hw = [r for r in rows if r["variant"] == "foveated SPLATONIC-HW"][0]
+    assert sw["speedup"] > 1.0
+    assert hw["speedup"] > sw["speedup"]

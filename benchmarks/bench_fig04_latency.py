@@ -1,0 +1,15 @@
+"""Fig. 4: amortized per-frame tracking vs mapping latency across the four
+3DGS-SLAM algorithms on the modeled mobile GPU.
+
+Paper shape: tracking dominates (its per-frame latency exceeds mapping's
+amortized latency for every algorithm, roughly 4:1)."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig04_latency(benchmark):
+    rows = benchmark.pedantic(figures.fig04_latency, rounds=1, iterations=1)
+    print_table("Fig. 4 - tracking vs mapping amortized latency", rows)
+    for row in rows:
+        assert row["tracking_ms_per_frame"] > row["mapping_ms_per_frame"], (
+            f"tracking should dominate for {row['algorithm']}")

@@ -1,0 +1,14 @@
+"""Fig. 5: normalized execution breakdown of the dense pipeline.
+
+Paper shape: rasterization + reverse rasterization account for ~94.7 % of
+the execution time across algorithms."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig05_breakdown(benchmark):
+    rows = benchmark.pedantic(figures.fig05_breakdown, rounds=1, iterations=1)
+    print_table("Fig. 5 - dense-pipeline stage breakdown", rows)
+    for row in rows:
+        assert row["raster_stages_share"] > 0.85, (
+            f"raster stages should dominate for {row['algorithm']}")

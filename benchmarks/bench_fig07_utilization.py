@@ -1,0 +1,15 @@
+"""Fig. 7: GPU thread utilization of dense rasterization per Replica-like
+scene.
+
+Paper shape: utilization is well below 1 (paper mean 28.3 %; the exact
+value is scene-statistics dependent)."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig07_utilization(benchmark):
+    rows = benchmark.pedantic(figures.fig07_utilization, rounds=1,
+                              iterations=1)
+    print_table("Fig. 7 - rasterization thread utilization", rows)
+    mean = [r for r in rows if r["scene"] == "mean"][0]
+    assert 0.0 < mean["thread_utilization"] < 1.0

@@ -1,0 +1,14 @@
+"""Fig. 8: aggregation share of reverse rasterization on the dense GPU.
+
+Paper shape: over 63.5 % of reverse rasterization is spent aggregating
+gradients through atomicAdd."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig08_aggregation(benchmark):
+    rows = benchmark.pedantic(figures.fig08_aggregation, rounds=1,
+                              iterations=1)
+    print_table("Fig. 8 - aggregation share of reverse rasterization", rows)
+    mean = [r for r in rows if r["scene"] == "mean"][0]
+    assert mean["aggregation_share"] > 0.5

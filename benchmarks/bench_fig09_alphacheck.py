@@ -1,0 +1,15 @@
+"""Fig. 9: alpha-checking share of rasterization / reverse rasterization.
+
+Paper shape: ~43.4 % of rasterization and ~33.6 % of reverse rasterization
+is spent on alpha-checking (SFU-bound exp)."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig09_alpha_share(benchmark):
+    rows = benchmark.pedantic(figures.fig09_alpha_share, rounds=1,
+                              iterations=1)
+    print_table("Fig. 9 - alpha-checking share", rows)
+    mean = [r for r in rows if r["scene"] == "mean"][0]
+    assert 0.2 < mean["alpha_share_raster"] < 0.8
+    assert 0.2 < mean["alpha_share_reverse"] < 0.8

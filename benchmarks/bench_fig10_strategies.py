@@ -1,0 +1,22 @@
+"""Fig. 10: tracking error vs sampling strategy and tile size.
+
+Paper shape: strategies with global coverage (random / harris, one pixel
+per tile) beat strategies without it (low-res lattice, GauSPU loss-tiles),
+and random matches or beats the feature-based pick."""
+
+import numpy as np
+
+from repro.bench import figures, print_table
+
+
+def test_fig10_strategies(benchmark):
+    rows = benchmark.pedantic(figures.fig10_strategies, rounds=1,
+                              iterations=1)
+    print_table("Fig. 10 - sampling strategy vs tracking error", rows)
+
+    def mean_err(strategy):
+        return float(np.mean([r["pose_error_cm"] for r in rows
+                              if r["strategy"] == strategy]))
+
+    assert mean_err("random") <= mean_err("loss_tile") * 1.5, (
+        "random (global coverage) should not lose badly to loss-tiles")

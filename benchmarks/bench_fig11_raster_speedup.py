@@ -1,0 +1,17 @@
+"""Fig. 11: rasterization / reverse-rasterization latency for Org.,
+Org.+S, and the pixel-based pipeline during tracking.
+
+Paper shape: Org.+S yields only ~4x on rasterization (far below the 256x
+pixel reduction); the pixel-based pipeline reaches ~103x / ~95x."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig11_raster_speedup(benchmark, bundle):
+    rows = benchmark.pedantic(figures.fig11_raster_speedup, args=(bundle,),
+                              rounds=1, iterations=1)
+    print_table("Fig. 11 - bottleneck-stage latency", rows)
+    orgs = [r for r in rows if r["variant"] == "Org.+S"][0]
+    ours = [r for r in rows if r["variant"] == "Ours"][0]
+    assert orgs["raster_speedup"] < 32, "Org.+S must fall far short of 256x"
+    assert ours["raster_speedup"] > 10 * orgs["raster_speedup"]

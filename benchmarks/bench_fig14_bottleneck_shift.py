@@ -1,0 +1,17 @@
+"""Fig. 14: the bottleneck shift introduced by pixel-based rendering.
+
+Paper shape: projection's share of the forward pass grows from ~2 % to
+~64 %; reverse rasterization's share of the backward pass falls from
+~99 % but remains the majority."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig14_bottleneck_shift(benchmark, bundle):
+    rows = benchmark.pedantic(figures.fig14_bottleneck_shift, args=(bundle,),
+                              rounds=1, iterations=1)
+    print_table("Fig. 14 - bottleneck shift", rows)
+    org = [r for r in rows if r["variant"] == "Org."][0]
+    ours = [r for r in rows if r["variant"] == "Ours"][0]
+    assert ours["projection_share_fwd"] > 5 * org["projection_share_fwd"]
+    assert ours["reverse_raster_share_bwd"] < org["reverse_raster_share_bwd"]

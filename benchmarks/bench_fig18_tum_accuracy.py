@@ -1,0 +1,17 @@
+"""Fig. 18: TUM-like tracking ATE and reconstruction PSNR.
+
+Paper shape: same parity as Fig. 17, with larger absolute ATEs than
+Replica (faster motion, sensor noise)."""
+
+import numpy as np
+
+from repro.bench import figures, print_table
+
+
+def test_fig18_tum_accuracy(benchmark):
+    rows = benchmark.pedantic(figures.fig18_tum_accuracy, rounds=1,
+                              iterations=1)
+    print_table("Fig. 18 - TUM accuracy (baseline vs ours)", rows)
+    base = np.mean([r["baseline_ate_cm"] for r in rows])
+    ours = np.mean([r["ours_ate_cm"] for r in rows])
+    assert ours < 2.0 * base + 1.0

@@ -1,0 +1,16 @@
+"""Fig. 19: end-to-end tracking speedup and energy savings on the mobile
+GPU, per algorithm.
+
+Paper shape: ~14.6x mean speedup and 86.1 % energy savings for the full
+SPLATONIC-SW; Org.+S reaches only ~3.4x / 55.5 %."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig19_gpu_e2e(benchmark):
+    rows = benchmark.pedantic(figures.fig19_gpu_e2e, rounds=1, iterations=1)
+    print_table("Fig. 19 - GPU end-to-end speedup & energy", rows)
+    mean = [r for r in rows if r["algorithm"] == "mean"][0]
+    assert mean["ours_speedup"] > mean["orgs_speedup"]
+    assert mean["ours_speedup"] > 5.0
+    assert mean["ours_energy_saving"] > 0.5

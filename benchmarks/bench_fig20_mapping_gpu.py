@@ -1,0 +1,14 @@
+"""Fig. 20: mapping speedup and energy savings on the mobile GPU.
+
+Paper shape: mapping gains are modest (~3.2x, 60 % energy) because
+mapping renders many more pixels (one per 4x4 tile plus unseen pixels)."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig20_mapping_gpu(benchmark, bundle):
+    rows = benchmark.pedantic(figures.fig20_mapping_gpu, args=(bundle,),
+                              rounds=1, iterations=1)
+    print_table("Fig. 20 - GPU mapping speedup & energy", rows)
+    ours = [r for r in rows if r["variant"] == "Ours"][0]
+    assert 1.0 < ours["speedup"] < 60.0, "mapping gains are modest"

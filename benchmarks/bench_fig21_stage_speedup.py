@@ -1,0 +1,16 @@
+"""Fig. 21: tracking speedups on the two bottleneck stages.
+
+Paper shape: sparse sampling alone gives ~4.1x / 4.3x; the pixel-based
+pipeline reaches ~64.4x / 77.2x."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig21_stage_speedup(benchmark, bundle):
+    rows = benchmark.pedantic(figures.fig21_stage_speedup, args=(bundle,),
+                              rounds=1, iterations=1)
+    print_table("Fig. 21 - bottleneck-stage speedups", rows)
+    orgs = [r for r in rows if r["variant"] == "Org.+S"][0]
+    ours = [r for r in rows if r["variant"] == "Ours"][0]
+    assert ours["raster_speedup"] > orgs["raster_speedup"]
+    assert ours["reverse_raster_speedup"] > orgs["reverse_raster_speedup"]

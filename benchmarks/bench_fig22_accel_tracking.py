@@ -1,0 +1,23 @@
+"""Fig. 22: tracking performance and energy across architectures.
+
+Paper shape: SPLATONIC-HW is fastest and most efficient; the +S variants
+of GauSPU / GSArch trail it; SPLATONIC-SW beats the *dense* prior
+accelerators."""
+
+from repro.bench import figures, print_table
+
+
+def _get(rows, design):
+    return [r for r in rows if r["design"] == design][0]
+
+
+def test_fig22_accel_tracking(benchmark, bundle):
+    rows = benchmark.pedantic(figures.fig22_accel_tracking, args=(bundle,),
+                              rounds=1, iterations=1)
+    print_table("Fig. 22 - accelerator tracking comparison", rows)
+    hw = _get(rows, "SPLATONIC-HW")
+    assert hw["speedup"] >= max(r["speedup"] for r in rows)
+    assert hw["energy_saving"] >= max(r["energy_saving"] for r in rows)
+    sw = _get(rows, "SPLATONIC-SW")
+    assert sw["speedup"] > _get(rows, "GauSPU")["speedup"]
+    assert sw["speedup"] > _get(rows, "GSArch")["speedup"]

@@ -1,0 +1,15 @@
+"""Fig. 23: mapping speedups across architectures.
+
+Paper shape: same ordering as tracking — SPLATONIC-HW still leads."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig23_accel_mapping(benchmark, bundle):
+    rows = benchmark.pedantic(figures.fig23_accel_mapping, args=(bundle,),
+                              rounds=1, iterations=1)
+    print_table("Fig. 23 - accelerator mapping comparison", rows)
+    hw = [r for r in rows if r["design"] == "SPLATONIC-HW"][0]
+    others = [r["speedup"] for r in rows
+              if r["design"] not in ("SPLATONIC-HW", "SPLATONIC-SW")]
+    assert hw["speedup"] > max(others)

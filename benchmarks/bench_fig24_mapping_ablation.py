@@ -1,0 +1,15 @@
+"""Fig. 24: ablation of the mapping sampling strategy on SplaTAM.
+
+Paper shape: combining weighted texture sampling with unseen pixels
+("Comb") yields the best accuracy among the sparse variants."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig24_mapping_ablation(benchmark):
+    rows = benchmark.pedantic(figures.fig24_mapping_ablation, rounds=1,
+                              iterations=1)
+    print_table("Fig. 24 - mapping sampling ablation", rows)
+    by = {r["variant"]: r for r in rows}
+    assert by["comb"]["psnr_db"] >= by["unseen"]["psnr_db"] - 1.0
+    assert by["comb"]["psnr_db"] >= by["weighted"]["psnr_db"] - 1.0

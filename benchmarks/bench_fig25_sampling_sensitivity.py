@@ -1,0 +1,21 @@
+"""Fig. 25: speedup sensitivity to the sampling tile size.
+
+Paper shape: pixel-based SPLATONIC-HW wins at sparse sampling but loses
+to the tile-based GSArch at (or near) dense sampling (1x1 tiles), because
+dense pixels share data the pixel pipeline cannot amortize."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig25_sampling_sensitivity(benchmark, bundle):
+    rows = benchmark.pedantic(figures.fig25_sampling_sensitivity,
+                              kwargs={"bundle": bundle}, rounds=1,
+                              iterations=1)
+    print_table("Fig. 25 - sensitivity to sampling rate", rows)
+    sparse = [r for r in rows if r["tile"] == 16][0]
+    dense = [r for r in rows if r["tile"] == 1][0]
+    assert sparse["splatonic_hw_speedup"] > sparse["gsarch_s_speedup"] * 0.9
+    ratio_sparse = sparse["splatonic_hw_speedup"] / sparse["gsarch_s_speedup"]
+    ratio_dense = dense["splatonic_hw_speedup"] / dense["gsarch_s_speedup"]
+    assert ratio_dense < ratio_sparse, (
+        "tile-based rendering must close the gap as sampling densifies")

@@ -1,0 +1,15 @@
+"""Fig. 26: mapping accuracy sensitivity to the mapping tile size.
+
+Paper shape: 4x4 is the knee — smaller tiles barely help accuracy, larger
+tiles cost reconstruction quality."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig26_accuracy_sensitivity(benchmark):
+    rows = benchmark.pedantic(figures.fig26_accuracy_sensitivity, rounds=1,
+                              iterations=1)
+    print_table("Fig. 26 - accuracy vs mapping tile size", rows)
+    by = {r["mapping_tile"]: r for r in rows}
+    assert by[4]["psnr_db"] > by[16]["psnr_db"] - 0.5, (
+        "4x4 should not lose clearly to 16x16")

@@ -1,0 +1,19 @@
+"""Fig. 27: performance sensitivity to projection-unit and render-unit
+counts of the SPLATONIC accelerator.
+
+Paper shape: performance is projection-unit-bound at small counts; once
+projection stops being the bottleneck, render units take over."""
+
+from repro.bench import figures, print_table
+
+
+def test_fig27_unit_sensitivity(benchmark, bundle):
+    rows = benchmark.pedantic(figures.fig27_unit_sensitivity,
+                              kwargs={"bundle": bundle}, rounds=1,
+                              iterations=1)
+    print_table("Fig. 27 - unit-count sensitivity", rows)
+    def perf(pu, ru):
+        return [r for r in rows if r["projection_units"] == pu
+                and r["render_engines"] == ru][0]["relative_performance"]
+    assert perf(8, 4) >= perf(2, 4), "more projection units cannot hurt"
+    assert perf(16, 8) >= perf(2, 2)

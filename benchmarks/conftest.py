@@ -1,0 +1,16 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+The expensive artifacts (a proxy SLAM run and its measured workloads) are
+built once per session; individual benches only evaluate their models and
+print the figure's rows.
+"""
+
+import pytest
+
+from repro.bench import build_bundle
+
+
+@pytest.fixture(scope="session")
+def bundle():
+    """The default proxy scenario (room0, 96x64, SplaTAM sparse run)."""
+    return build_bundle()

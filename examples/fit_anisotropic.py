@@ -1,0 +1,106 @@
+"""Fit anisotropic 3D Gaussians to target views by gradient descent.
+
+Demonstrates the full-covariance rendering path: a ground-truth anisotropic
+cloud renders target views; a perturbed copy is optimized — means, per-axis
+log-scales, quaternions, opacities, colors all receive analytic gradients
+through the EWA projection — using the sparse pixel pipeline from several
+viewpoints, until the renderings converge.
+
+Run:  python examples/fit_anisotropic.py [--iterations 150]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import sample_tracking_pixels
+from repro.datasets.trajectory import look_at
+from repro.gaussians import Camera, Intrinsics
+from repro.metrics import psnr
+from repro.render import (
+    AnisotropicCloud,
+    backward_sparse_anisotropic,
+    render_sparse_anisotropic,
+)
+from repro.slam import Adam
+from repro.slam.losses import LossConfig, rgbd_loss
+
+BG = np.full(3, 0.05)
+
+
+def make_target_cloud(n=40, seed=3):
+    rng = np.random.default_rng(seed)
+    return AnisotropicCloud.create(
+        means=np.stack([rng.uniform(-1, 1, n), rng.uniform(-0.7, 0.7, n),
+                        rng.uniform(1.5, 3.5, n)], axis=-1),
+        scales=rng.uniform(0.05, 0.35, (n, 3)),       # elongated splats
+        quaternions=rng.normal(size=(n, 4)),
+        opacities=rng.uniform(0.4, 0.9, n),
+        colors=rng.uniform(0.1, 0.9, (n, 3)),
+    )
+
+
+def perturb(cloud: AnisotropicCloud, rng) -> AnisotropicCloud:
+    vec = cloud.pack()
+    return cloud.unpack(vec + rng.normal(0.0, 0.05, vec.shape))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=150)
+    parser.add_argument("--views", type=int, default=4)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(0)
+    target = make_target_cloud()
+    intr = Intrinsics.from_fov(64, 48, 70.0)
+    cameras = [
+        Camera(intr, look_at(
+            np.array([0.6 * np.cos(a), -0.1, 0.6 * np.sin(a) - 0.2]),
+            np.array([0.0, 0.0, 2.5])))
+        for a in np.linspace(0, 1.2, args.views)
+    ]
+    # Per-view target observations at a half-resolution pixel lattice.
+    views = []
+    for cam in cameras:
+        px = sample_tracking_pixels(intr.width, intr.height, 2, "random", rng)
+        ref = render_sparse_anisotropic(target, cam, px, BG)
+        views.append((cam, px, ref))
+
+    cloud = perturb(target, rng)
+    lr = np.concatenate([
+        np.full(3 * len(cloud), 2e-3),    # means
+        np.full(3 * len(cloud), 4e-3),    # log-scales
+        np.full(4 * len(cloud), 4e-3),    # quaternions
+        np.full(len(cloud), 2e-2),        # opacity logits
+        np.full(3 * len(cloud), 1e-2),    # colors
+    ])
+    adam = Adam(14 * len(cloud), lr)
+    cfg = LossConfig(color_weight=1.0, depth_weight=0.3)
+
+    def view_psnr():
+        scores = []
+        for cam, px, ref in views:
+            out = render_sparse_anisotropic(cloud, cam, px, BG)
+            scores.append(psnr(out.color, ref.color))
+        return float(np.mean(scores))
+
+    print(f"{len(cloud)} anisotropic Gaussians, {args.views} views, "
+          f"{len(views[0][1])} pixels each")
+    print(f"initial view PSNR: {view_psnr():.2f} dB")
+    for it in range(1, args.iterations + 1):
+        cam, px, ref = views[it % len(views)]
+        out = render_sparse_anisotropic(cloud, cam, px, BG)
+        loss = rgbd_loss(out.color, out.depth, out.silhouette,
+                         ref.color, ref.depth, cfg, tracking=False)
+        grads = backward_sparse_anisotropic(
+            out, cloud, cam, loss.d_color, loss.d_depth, loss.d_silhouette)
+        cloud = cloud.unpack(cloud.pack() + adam.step(grads.as_cloud_vector()))
+        if it % 30 == 0 or it == 1:
+            print(f"iter {it:4d}  loss {loss.loss:.5f}  "
+                  f"view PSNR {view_psnr():.2f} dB")
+    print(f"final view PSNR: {view_psnr():.2f} dB")
+
+
+if __name__ == "__main__":
+    main()

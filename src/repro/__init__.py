@@ -1,0 +1,33 @@
+"""SPLATONIC reproduction: sparse-processing 3DGS SLAM, algorithm + hardware.
+
+Layers (bottom-up):
+
+- :mod:`repro.gaussians` — SE(3) math, cameras, the Gaussian map.
+- :mod:`repro.render` — differentiable tile-based 3DGS renderer (fwd+bwd).
+- :mod:`repro.core` — the paper's contribution: adaptive pixel sampling and
+  the pixel-based rendering pipeline, behind the :class:`~repro.core.Splatonic`
+  facade.
+- :mod:`repro.slam` — tracking/mapping SLAM engine with four algorithm
+  presets (SplaTAM, MonoGS, GS-SLAM, FlashSLAM).
+- :mod:`repro.datasets` — synthetic Replica-like / TUM-like RGB-D sequences.
+- :mod:`repro.metrics` — ATE, PSNR, SSIM, depth-L1.
+- :mod:`repro.hw` — mobile-GPU model and the SPLATONIC / GSArch / GauSPU
+  accelerator models driven by workload counters.
+- :mod:`repro.bench` — experiment drivers regenerating the paper's figures.
+"""
+
+from .core import Splatonic, SplatonicConfig
+from .gaussians import Camera, GaussianCloud, Intrinsics
+from .slam import SLAMSystem
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Splatonic",
+    "SplatonicConfig",
+    "Camera",
+    "GaussianCloud",
+    "Intrinsics",
+    "SLAMSystem",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Benchmark harness: scenario builders and per-figure experiment drivers."""
+
+from . import figures
+from .scenarios import (
+    PAPER_GAUSSIANS,
+    PAPER_HEIGHT,
+    PAPER_WIDTH,
+    ProxyBundle,
+    build_bundle,
+    mapping_workloads,
+    tracking_workloads,
+)
+from .report import PAPER_CLAIMS, PaperClaim, compare, format_comparison
+from .tables import format_kv, format_table, print_table
+
+__all__ = [
+    "figures",
+    "PAPER_GAUSSIANS",
+    "PAPER_HEIGHT",
+    "PAPER_WIDTH",
+    "ProxyBundle",
+    "build_bundle",
+    "mapping_workloads",
+    "tracking_workloads",
+    "format_kv",
+    "format_table",
+    "print_table",
+    "PAPER_CLAIMS",
+    "PaperClaim",
+    "compare",
+    "format_comparison",
+]

@@ -1,0 +1,119 @@
+"""Paper-vs-measured bookkeeping for EXPERIMENTS.md.
+
+``PAPER_CLAIMS`` records the headline quantity of every figure as the
+paper states it; :func:`compare` lines a measured value up against the
+claim and grades the *shape* (who wins / direction / order of magnitude),
+which is the reproduction contract of this repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["PaperClaim", "PAPER_CLAIMS", "compare", "format_comparison"]
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One headline number of a paper figure."""
+
+    figure: str
+    metric: str
+    value: float
+    unit: str = ""
+    kind: str = "ratio"      # "ratio" | "share" | "absolute"
+    note: str = ""
+
+
+PAPER_CLAIMS: Dict[str, PaperClaim] = {c.figure + ":" + c.metric: c for c in [
+    PaperClaim("fig04", "tracking_dominates", 4.0, "x",
+               note="amortized tracking ~4x mapping latency"),
+    PaperClaim("fig05", "raster_stages_share", 0.947, "", "share",
+               note="raster + reverse raster share of execution"),
+    PaperClaim("fig07", "thread_utilization", 0.283, "", "share",
+               note="mean GPU thread utilization in rasterization"),
+    PaperClaim("fig08", "aggregation_share", 0.635, "", "share",
+               note="aggregation share of reverse rasterization"),
+    PaperClaim("fig09", "alpha_share_raster", 0.434, "", "share"),
+    PaperClaim("fig09", "alpha_share_reverse", 0.336, "", "share"),
+    PaperClaim("fig10", "random_beats_loss_tiles", 1.0, "", "ratio",
+               note="global-coverage sampling matches/beats alternatives"),
+    PaperClaim("fig11", "orgs_raster_speedup", 4.2, "x"),
+    PaperClaim("fig11", "ours_raster_speedup", 103.1, "x"),
+    PaperClaim("fig11", "ours_reverse_speedup", 95.0, "x"),
+    PaperClaim("fig14", "projection_share_fwd", 0.638, "", "share",
+               note="projection share of fwd pass, pixel pipeline"),
+    PaperClaim("fig17", "ate_delta_cm", -0.01, "cm", "absolute",
+               note="ours minus baseline ATE (negative = better)"),
+    PaperClaim("fig17", "psnr_delta_db", 0.8, "dB", "absolute",
+               note="ours minus baseline PSNR on SplaTAM"),
+    PaperClaim("fig18", "ate_delta_cm", -0.03, "cm", "absolute"),
+    PaperClaim("fig19", "e2e_speedup", 14.6, "x"),
+    PaperClaim("fig19", "energy_saving", 0.861, "", "share"),
+    PaperClaim("fig19", "orgs_speedup", 3.4, "x"),
+    PaperClaim("fig20", "mapping_speedup", 3.2, "x"),
+    PaperClaim("fig20", "mapping_energy_saving", 0.60, "", "share"),
+    PaperClaim("fig21", "orgs_raster_speedup", 4.1, "x"),
+    PaperClaim("fig21", "ours_raster_speedup", 64.4, "x"),
+    PaperClaim("fig21", "ours_reverse_speedup", 77.2, "x"),
+    PaperClaim("fig22", "splatonic_hw_speedup", 274.9, "x"),
+    PaperClaim("fig22", "splatonic_hw_energy", 4738.5, "x"),
+    PaperClaim("fig22", "vs_prior_accel", 25.2, "x",
+               note="max speedup over GauSPU/GSArch"),
+    PaperClaim("fig22", "vs_prior_accel_same_sampling", 12.7, "x"),
+    PaperClaim("fig23", "splatonic_wins_mapping", 1.0, "", "ratio"),
+    PaperClaim("fig24", "comb_psnr_gain_db", 1.0, "dB", "absolute"),
+    PaperClaim("fig25", "crossover_at_dense", 1.0, "", "ratio",
+               note="tile-based wins at 1x1 sampling"),
+    PaperClaim("fig26", "best_mapping_tile", 4.0, "", "absolute"),
+    PaperClaim("fig27", "projection_units_bind_first", 1.0, "", "ratio"),
+    PaperClaim("area", "total_mm2", 1.07, "mm^2", "absolute"),
+    PaperClaim("area", "raster_share", 0.28, "", "share"),
+    PaperClaim("area", "sram_share", 0.15, "", "share"),
+]}
+
+
+@dataclass
+class Comparison:
+    """A measured value graded against a paper claim."""
+
+    claim: PaperClaim
+    measured: float
+    within_factor: Optional[float] = None
+
+    @property
+    def shape_holds(self) -> bool:
+        """Same order of magnitude / direction as the paper's number."""
+        c, m = self.claim.value, self.measured
+        if self.claim.kind == "share":
+            return abs(m - c) <= 0.25
+        if self.claim.kind == "absolute":
+            return (m >= 0) == (c >= 0) or abs(m - c) <= max(abs(c), 1.0)
+        if c == 0:
+            return m == 0
+        ratio = m / c
+        return 0.1 <= ratio <= 10.0
+
+
+def compare(figure: str, metric: str, measured: float) -> Comparison:
+    """Look up the paper claim and grade the measured value."""
+    key = f"{figure}:{metric}"
+    if key not in PAPER_CLAIMS:
+        raise KeyError(f"no paper claim registered for {key}")
+    return Comparison(claim=PAPER_CLAIMS[key], measured=float(measured))
+
+
+def format_comparison(rows: List[Comparison]) -> str:
+    """Markdown table of paper-vs-measured comparisons."""
+    lines = [
+        "| figure | metric | paper | measured | shape holds |",
+        "|---|---|---|---|---|",
+    ]
+    for comp in rows:
+        c = comp.claim
+        lines.append(
+            f"| {c.figure} | {c.metric} | {c.value:g}{c.unit} | "
+            f"{comp.measured:g}{c.unit} | "
+            f"{'yes' if comp.shape_holds else 'NO'} |")
+    return "\n".join(lines)

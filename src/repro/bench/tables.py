@@ -1,0 +1,53 @@
+"""Plain-text table formatting for the figure benches.
+
+Each bench prints the rows/series of the paper figure it regenerates; this
+module keeps the formatting uniform so EXPERIMENTS.md can quote benches
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_kv", "print_table"]
+
+
+def format_table(title: str, rows: List[Dict[str, object]],
+                 columns: Sequence[str] = None) -> str:
+    """Render dict rows as an aligned text table with a title banner."""
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in rendered))
+              for i, c in enumerate(columns)]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(title: str, values: Dict[str, object]) -> str:
+    """Render a flat key->value mapping with a title banner."""
+    width = max((len(k) for k in values), default=0)
+    lines = [f"== {title} =="]
+    for k, v in values.items():
+        lines.append(f"{k.ljust(width)}  {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def print_table(title: str, rows: List[Dict[str, object]],
+                columns: Sequence[str] = None) -> None:
+    print("\n" + format_table(title, rows, columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    repro slam --sequence room0 --out results/      # run SLAM, save outputs
+    repro render --scene-seed 7 --out view.ppm      # render a scene
+    repro figure fig22                              # regenerate one figure
+    repro info                                      # presets + hw summary
+
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPLATONIC: sparse-processing 3DGS SLAM (reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_slam = sub.add_parser("slam", help="run SLAM on a synthetic sequence")
+    p_slam.add_argument("--sequence", default="room0")
+    p_slam.add_argument("--dataset", choices=["replica", "tum"],
+                        default="replica")
+    p_slam.add_argument("--algorithm", default="splatam",
+                        choices=["splatam", "monogs", "gsslam", "flashslam"])
+    p_slam.add_argument("--mode", choices=["sparse", "dense"],
+                        default="sparse")
+    p_slam.add_argument("--frames", type=int, default=12)
+    p_slam.add_argument("--width", type=int, default=64)
+    p_slam.add_argument("--height", type=int, default=48)
+    p_slam.add_argument("--tracking-tile", type=int, default=8)
+    p_slam.add_argument("--seed", type=int, default=0)
+    p_slam.add_argument("--out", default=None,
+                        help="directory for trajectory/cloud/render outputs")
+
+    p_render = sub.add_parser("render", help="render a procedural scene or "
+                                             "a saved cloud")
+    p_render.add_argument("--cloud", default=None,
+                          help=".npz cloud saved by `repro slam`")
+    p_render.add_argument("--scene-seed", type=int, default=0,
+                          help="procedural scene seed (when no --cloud)")
+    p_render.add_argument("--width", type=int, default=160)
+    p_render.add_argument("--height", type=int, default=120)
+    p_render.add_argument("--out", required=True, help="output .ppm path")
+    p_render.add_argument("--depth-out", default=None,
+                          help="optional depth .pgm path")
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure")
+    p_fig.add_argument("name", help="e.g. fig11, fig22, area "
+                                    "(see `repro figure list`)")
+
+    sub.add_parser("info", help="print presets and hardware configuration")
+    return parser
+
+
+def _cmd_slam(args) -> int:
+    from .datasets import make_replica_sequence, make_tum_sequence
+    from .core import SplatonicConfig
+    from .io import save_cloud, save_ppm, save_trajectory_tum
+    from .metrics import rpe
+    from .render import render_full
+    from .gaussians import Camera
+    from .slam import SLAMSystem
+
+    maker = (make_replica_sequence if args.dataset == "replica"
+             else make_tum_sequence)
+    print(f"building {args.dataset}/{args.sequence} "
+          f"({args.frames} frames, {args.width}x{args.height}) ...")
+    sequence = maker(args.sequence, n_frames=args.frames, width=args.width,
+                     height=args.height, surface_density=10)
+    system = SLAMSystem(
+        args.algorithm, mode=args.mode,
+        splatonic_config=SplatonicConfig(tracking_tile=args.tracking_tile),
+        seed=args.seed)
+    print(f"running {args.algorithm} ({args.mode}) ...")
+    result = system.run(sequence)
+
+    ate = result.ate()
+    drift = rpe(result.est_trajectory, result.gt_trajectory)
+    quality = result.eval_quality(sequence)
+    print(f"ATE  : {ate.rmse * 100:.2f} cm (rmse), "
+          f"{ate.median * 100:.2f} cm (median)")
+    print(f"RPE  : {drift.trans_rmse * 100:.2f} cm, "
+          f"{np.rad2deg(drift.rot_rmse):.2f} deg per frame")
+    print(f"PSNR : {quality['psnr']:.2f} dB   SSIM: {quality['ssim']:.3f}   "
+          f"depth L1: {quality['depth_l1']:.3f} m")
+    print(f"map  : {len(result.cloud)} Gaussians after "
+          f"{result.mapping_invocations} mapping invocations")
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        save_trajectory_tum(os.path.join(args.out, "trajectory_est.txt"),
+                            result.est_trajectory)
+        save_trajectory_tum(os.path.join(args.out, "trajectory_gt.txt"),
+                            result.gt_trajectory)
+        save_cloud(os.path.join(args.out, "cloud.npz"), result.cloud)
+        cam = Camera(sequence.intrinsics, result.est_trajectory[-1])
+        view = render_full(result.cloud, cam, np.full(3, 0.05),
+                           keep_cache=False)
+        save_ppm(os.path.join(args.out, "final_view.ppm"), view.color)
+        print(f"wrote trajectory_est.txt / trajectory_gt.txt / cloud.npz / "
+              f"final_view.ppm to {args.out}")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from .datasets import SceneSpec, make_room_scene
+    from .datasets.trajectory import look_at
+    from .gaussians import Camera, Intrinsics
+    from .io import load_cloud, save_pgm, save_ppm
+    from .render import render_full
+
+    if args.cloud:
+        cloud = load_cloud(args.cloud)
+        from .render.anisotropic import AnisotropicCloud
+        if isinstance(cloud, AnisotropicCloud):
+            raise SystemExit(
+                "render: anisotropic clouds render through "
+                "repro.render.render_sparse_anisotropic (API only)")
+    else:
+        cloud = make_room_scene(SceneSpec(seed=args.scene_seed))
+    intr = Intrinsics.from_fov(args.width, args.height, 75.0)
+    camera = Camera(intr, look_at(np.array([0.3, -0.2, -0.3]),
+                                  np.array([2.5, 0.0, 1.0])))
+    result = render_full(cloud, camera, np.full(3, 0.05), keep_cache=False)
+    save_ppm(args.out, result.color)
+    print(f"wrote {args.out} ({args.width}x{args.height}, "
+          f"{len(cloud)} Gaussians)")
+    if args.depth_out:
+        save_pgm(args.depth_out, result.depth)
+        print(f"wrote {args.depth_out}")
+    return 0
+
+
+_FIGURES = {
+    "fig04": "fig04_latency", "fig05": "fig05_breakdown",
+    "fig07": "fig07_utilization", "fig08": "fig08_aggregation",
+    "fig09": "fig09_alpha_share", "fig10": "fig10_strategies",
+    "fig11": "fig11_raster_speedup", "fig14": "fig14_bottleneck_shift",
+    "fig17": "fig17_replica_accuracy", "fig18": "fig18_tum_accuracy",
+    "fig19": "fig19_gpu_e2e", "fig20": "fig20_mapping_gpu",
+    "fig21": "fig21_stage_speedup", "fig22": "fig22_accel_tracking",
+    "fig23": "fig23_accel_mapping", "fig24": "fig24_mapping_ablation",
+    "fig25": "fig25_sampling_sensitivity",
+    "fig26": "fig26_accuracy_sensitivity",
+    "fig27": "fig27_unit_sensitivity", "area": "area_table",
+    "lut": "ablation_lut", "aggregation": "ablation_aggregation_unit",
+    "gamma-cache": "ablation_gamma_cache",
+    "bbox-index": "ablation_bbox_indexing",
+    "preemptive": "ablation_preemptive_alpha",
+}
+
+
+def _cmd_figure(args) -> int:
+    from .bench import figures, print_table
+
+    if args.name == "list":
+        for key in sorted(_FIGURES):
+            fn = getattr(figures, _FIGURES[key])
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:8s} {summary}")
+        return 0
+    if args.name not in _FIGURES:
+        raise SystemExit(
+            f"unknown figure {args.name!r}; try `repro figure list`")
+    fn = getattr(figures, _FIGURES[args.name])
+    print(f"running {args.name} ({fn.__name__}) — this may take a while ...")
+    rows = fn()
+    print_table(args.name, rows)
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    from . import __version__
+    from .hw import GpuSpec, SplatonicHwConfig, splatonic_area
+    from .slam import ALGORITHMS
+
+    print(f"repro {__version__} — SPLATONIC reproduction (HPCA 2026)")
+    print("\nalgorithm presets:")
+    for name, cfg in ALGORITHMS.items():
+        print(f"  {name:10s} track_iters={cfg.tracking_iters:3d} "
+              f"map_iters={cfg.mapping_iters:3d} map_every={cfg.map_every} "
+              f"kf_window={cfg.keyframe_window}")
+    spec = GpuSpec()
+    print(f"\nGPU model: {spec.name}, {spec.sms} SMs x "
+          f"{spec.cores_per_sm} cores @ {spec.clock_hz / 1e6:.0f} MHz")
+    hw = SplatonicHwConfig()
+    area = splatonic_area(hw)
+    print(f"SPLATONIC-HW: {hw.projection_units} projection units x "
+          f"{hw.alpha_filters_per_unit} alpha-filters, "
+          f"{hw.sorting_units} sorters, {hw.raster_engines} raster engines, "
+          f"{area.total:.2f} mm^2 @ 16 nm")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "slam": _cmd_slam,
+        "render": _cmd_render,
+        "figure": _cmd_figure,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

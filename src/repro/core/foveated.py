@@ -1,0 +1,83 @@
+"""Foveated sparse sampling — the paper's broader-applicability extension.
+
+Sec. VIII/IX argue the pixel-based rendering pipeline accelerates any
+sparse-pixel workload, foveated VR rendering in particular: sample densely
+where the user looks and sparsely in the periphery.  This module provides
+that sampler; the pattern feeds straight into
+:func:`repro.core.pixel_pipeline.render_sparse`, and
+``benchmarks/bench_ext_foveated.py`` quantifies the resulting speedups on
+the hardware models.
+
+The image is partitioned at ``periphery_tile`` granularity; each cell is
+subdivided according to its eccentricity (distance from the gaze point in
+units of ``falloff`` pixels) so the local tile size doubles per falloff
+ring, from ``fovea_tile`` at the gaze to ``periphery_tile`` at the edge.
+One pixel is sampled per (sub-)tile, matching the one-per-tile lattice
+structure of the tracking sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_foveated_pixels", "foveation_tile_map"]
+
+
+def foveation_tile_map(width: int, height: int, gaze,
+                       fovea_tile: int = 2, periphery_tile: int = 16,
+                       falloff: float = None) -> np.ndarray:
+    """Per-coarse-cell tile size implied by eccentricity.
+
+    Returns an array of shape ``(cells_y, cells_x)`` holding the local
+    tile size (a power of two between ``fovea_tile`` and
+    ``periphery_tile``) of every ``periphery_tile``-sized cell.
+    """
+    if fovea_tile <= 0 or periphery_tile < fovea_tile:
+        raise ValueError("need 0 < fovea_tile <= periphery_tile")
+    if periphery_tile % fovea_tile != 0:
+        raise ValueError("periphery_tile must be a multiple of fovea_tile")
+    gaze = np.asarray(gaze, dtype=float)
+    falloff = falloff if falloff is not None else max(width, height) / 6.0
+
+    cells_x = -(-width // periphery_tile)
+    cells_y = -(-height // periphery_tile)
+    tile_map = np.empty((cells_y, cells_x), dtype=int)
+    for cy in range(cells_y):
+        for cx in range(cells_x):
+            centre = np.array([
+                min((cx + 0.5) * periphery_tile, width),
+                min((cy + 0.5) * periphery_tile, height),
+            ])
+            ecc = np.linalg.norm(centre - gaze) / falloff
+            tile = fovea_tile * (2 ** int(ecc))
+            tile_map[cy, cx] = min(tile, periphery_tile)
+    return tile_map
+
+
+def sample_foveated_pixels(width: int, height: int, gaze,
+                           rng: np.random.Generator = None,
+                           fovea_tile: int = 2, periphery_tile: int = 16,
+                           falloff: float = None) -> np.ndarray:
+    """Draw a gaze-contingent pixel set: dense fovea, sparse periphery.
+
+    Returns ``(K, 2)`` integer pixel coordinates (one per local tile,
+    uniformly random within it), ordered cell by cell.
+    """
+    rng = rng or np.random.default_rng()
+    tile_map = foveation_tile_map(width, height, gaze, fovea_tile,
+                                  periphery_tile, falloff)
+    picks = []
+    cells_y, cells_x = tile_map.shape
+    for cy in range(cells_y):
+        for cx in range(cells_x):
+            tile = int(tile_map[cy, cx])
+            u0 = cx * periphery_tile
+            v0 = cy * periphery_tile
+            u1 = min(u0 + periphery_tile, width)
+            v1 = min(v0 + periphery_tile, height)
+            for v in range(v0, v1, tile):
+                for u in range(u0, u1, tile):
+                    du = rng.integers(min(tile, u1 - u))
+                    dv = rng.integers(min(tile, v1 - v))
+                    picks.append((u + du, v + dv))
+    return np.asarray(picks, dtype=int)

@@ -1,0 +1,283 @@
+"""Pixel-based rendering pipeline (Sec. IV-B, the paper's second contribution).
+
+Instead of amortizing projection/sorting across the pixels of a tile, every
+*sampled* pixel owns its pipeline:
+
+1. **Per-pixel projection with preemptive α-checking** — each projected
+   Gaussian's bounding box is tested against the sampled pixels (the
+   accelerator does this with direct index arithmetic, see
+   :func:`bbox_candidate_ranges`), and α is evaluated immediately.  Only
+   pairs with ``alpha >= threshold`` survive, so rasterization never
+   α-checks again and there is no warp divergence.
+2. **Per-pixel depth sort** of the surviving short list.
+3. **Gaussian-parallel rasterization** — a warp co-renders one pixel; the
+   partial colors are reduced.  Numerically this is Eqn. 1 again, so the
+   output is bit-identical to the tile pipeline at the sampled locations.
+
+The backward pass reuses the per-pixel sorted list and the cached ``Gamma``
+/ prefix-color values from the forward pass (the accelerator stores them in
+the rasterization engine's double buffer), computes partial gradients in
+parallel, and aggregates them per Gaussian.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..gaussians.camera import Camera
+from ..gaussians.model import GaussianCloud
+from ..render.backward import (
+    ProjectedGradients,
+    RenderGradients,
+    reproject_gradients,
+)
+from ..render.compositing import (
+    ALPHA_MAX,
+    ALPHA_THRESHOLD,
+    T_MIN,
+    CompositeCache,
+    composite_backward,
+    composite_forward,
+)
+from ..render.projection import ProjectedGaussians, project_gaussians
+from ..render.sorting import sort_by_depth
+from ..render.stats import PipelineStats
+
+__all__ = ["SparseRenderResult", "render_sparse", "backward_sparse",
+           "bbox_candidate_ranges"]
+
+DEFAULT_BACKGROUND = np.zeros(3)
+
+
+@dataclass
+class SparseRenderResult:
+    """Output of a sparse pixel-based forward pass over K sampled pixels."""
+
+    pixels: np.ndarray       # (K, 2) integer (u, v), row-major sorted
+    color: np.ndarray        # (K, 3)
+    depth: np.ndarray        # (K,)
+    silhouette: np.ndarray   # (K,)
+    proj: ProjectedGaussians
+    pixel_lists: List[np.ndarray]          # per-pixel sorted proj indices
+    caches: List[Optional[CompositeCache]]
+    stats: PipelineStats = field(default_factory=PipelineStats)
+
+    @property
+    def final_transmittance(self) -> np.ndarray:
+        return 1.0 - self.silhouette
+
+    def scatter(self, height: int, width: int,
+                background: Optional[np.ndarray] = None):
+        """Place the sparse outputs into dense maps (for visualization)."""
+        bg = DEFAULT_BACKGROUND if background is None else background
+        color = np.tile(np.asarray(bg, float), (height, width, 1))
+        depth = np.zeros((height, width))
+        sil = np.zeros((height, width))
+        u, v = self.pixels[:, 0], self.pixels[:, 1]
+        color[v, u] = self.color
+        depth[v, u] = self.depth
+        sil[v, u] = self.silhouette
+        return color, depth, sil
+
+
+def bbox_candidate_ranges(pixels: np.ndarray, bbox: np.ndarray,
+                          tile: int, width: int) -> List[np.ndarray]:
+    """Direct-indexing candidate generation of the projection unit (Sec. V-C).
+
+    With one sampled pixel per ``tile x tile`` region stored row-major, the
+    sampled-pixel list index of any pixel is a pure function of its tile
+    coordinates.  For each Gaussian the four bbox corners therefore bound a
+    *contiguous 2D index range* in the sampled-pixel lattice — no scan of
+    the whole pixel list is needed.
+
+    Returns, per Gaussian, the indices into ``pixels`` whose coordinates
+    fall inside its bounding box.  ``pixels`` must be the row-major sorted
+    one-per-tile lattice produced by ``sample_tracking_pixels``.
+    """
+    pixels = np.asarray(pixels, dtype=int)
+    tiles_x = -(-width // tile)
+    out: List[np.ndarray] = []
+    for u_min, v_min, u_max, v_max in bbox:
+        tx0 = max(int(u_min // tile), 0)
+        ty0 = max(int(v_min // tile), 0)
+        tx1 = int(u_max // tile)
+        ty1 = int(v_max // tile)
+        cand: List[int] = []
+        for ty in range(ty0, ty1 + 1):
+            base = ty * tiles_x
+            for tx in range(tx0, min(tx1, tiles_x - 1) + 1):
+                k = base + tx
+                if k >= len(pixels):
+                    break
+                u, v = pixels[k]
+                if u_min <= u + 0.5 <= u_max and v_min <= v + 0.5 <= v_max:
+                    cand.append(k)
+        out.append(np.asarray(cand, dtype=int))
+    return out
+
+
+def render_sparse(
+    cloud: GaussianCloud,
+    camera: Camera,
+    pixels: np.ndarray,
+    background: Optional[np.ndarray] = None,
+    alpha_threshold: float = ALPHA_THRESHOLD,
+    t_min: float = T_MIN,
+    keep_cache: bool = True,
+    preemptive_alpha: bool = True,
+    exp_fn=np.exp,
+) -> SparseRenderResult:
+    """Render only the sampled ``pixels`` with the pixel-based pipeline.
+
+    ``preemptive_alpha=False`` is an ablation switch: candidates are then
+    filtered only by the bounding box, and α-checking happens inside
+    rasterization (sorting and rasterizing the full candidate list), which
+    reproduces the workload of a pipeline without the optimization.
+    ``exp_fn`` substitutes an approximate exponential (LUT ablation).
+    """
+    intr = camera.intrinsics
+    bg = DEFAULT_BACKGROUND if background is None else np.asarray(background, float)
+    pixels = np.atleast_2d(np.asarray(pixels, dtype=int))
+    K = pixels.shape[0]
+
+    proj = project_gaussians(cloud, camera)
+    stats = PipelineStats(
+        pipeline="pixel",
+        image_width=intr.width,
+        image_height=intr.height,
+        num_gaussians=len(cloud),
+        num_projected=len(proj),
+        num_pixels=K,
+    )
+
+    color = np.tile(bg, (K, 1))
+    depth = np.zeros(K)
+    silhouette = np.zeros(K)
+    pixel_lists: List[np.ndarray] = []
+    caches: List[Optional[CompositeCache]] = []
+
+    if len(proj) == 0 or K == 0:
+        pixel_lists = [np.zeros(0, dtype=int) for _ in range(K)]
+        caches = [None] * K
+        stats.per_pixel_contribs = [0] * K
+        return SparseRenderResult(pixels, color, depth, silhouette, proj,
+                                  pixel_lists, caches, stats)
+
+    centres = pixels + 0.5
+    # Per-pixel projection: bbox test of every (pixel, Gaussian) pair.
+    du = centres[:, 0:1] - proj.mean2d[None, :, 0]
+    dv = centres[:, 1:2] - proj.mean2d[None, :, 1]
+    r = proj.radius[None, :]
+    in_bbox = (np.abs(du) <= r) & (np.abs(dv) <= r)
+    bbox_hits = int(in_bbox.sum())
+    stats.num_candidate_pairs += bbox_hits
+
+    if preemptive_alpha:
+        # Preemptive alpha-checking happens in the projection stage.
+        d2 = du * du + dv * dv
+        inv_2var = 1.0 / (2.0 * proj.sigma2d * proj.sigma2d)
+        alpha = np.minimum(
+            proj.opacity[None, :] * exp_fn(-d2 * inv_2var[None, :]), ALPHA_MAX)
+        survives = in_bbox & (alpha >= alpha_threshold)
+        stats.num_alpha_checks += bbox_hits
+    else:
+        survives = in_bbox
+
+    for k in range(K):
+        cand = np.nonzero(survives[k])[0]
+        cand = sort_by_depth(cand, proj.depth)
+        pixel_lists.append(cand)
+        stats.num_sort_keys += cand.size
+        stats.pixel_list_lengths.append(int(cand.size))
+        if cand.size == 0:
+            caches.append(None)
+            stats.per_pixel_contribs.append(0)
+            continue
+        out_color, out_depth, out_sil, cache = composite_forward(
+            centres[k:k + 1],
+            proj.mean2d[cand],
+            proj.sigma2d[cand],
+            proj.depth[cand],
+            proj.opacity[cand],
+            proj.color[cand],
+            bg,
+            alpha_threshold=alpha_threshold,
+            t_min=t_min,
+            exp_fn=exp_fn,
+        )
+        color[k] = out_color[0]
+        depth[k] = out_depth[0]
+        silhouette[k] = out_sil[0]
+        if not preemptive_alpha:
+            # alpha-checking is paid inside rasterization instead.
+            stats.num_alpha_checks += cand.size
+        contribs = int(cache.contrib.sum())
+        stats.num_contrib_pairs += contribs
+        stats.per_pixel_contribs.append(contribs)
+        caches.append(cache if keep_cache else None)
+
+    return SparseRenderResult(pixels, color, depth, silhouette, proj,
+                              pixel_lists, caches, stats)
+
+
+def backward_sparse(
+    result: SparseRenderResult,
+    cloud: GaussianCloud,
+    camera: Camera,
+    d_color: np.ndarray,
+    d_depth: np.ndarray,
+    d_silhouette: np.ndarray,
+) -> RenderGradients:
+    """Backward pass of the pixel pipeline.
+
+    Gradients arrive per sampled pixel (``(K, 3)``, ``(K,)``, ``(K,)``).
+    The per-pixel sorted lists and cached transmittances from the forward
+    pass are reused — no α-rechecking, matching the accelerator's Γ/C
+    double buffer (Sec. V-B).
+    """
+    proj = result.proj
+    K = result.pixels.shape[0]
+    pg = ProjectedGradients.zeros(len(proj))
+    stats = PipelineStats(
+        pipeline="pixel",
+        image_width=result.stats.image_width,
+        image_height=result.stats.image_height,
+        num_gaussians=len(cloud),
+        num_projected=len(proj),
+        num_pixels=K,
+    )
+    d_color = np.atleast_2d(np.asarray(d_color, dtype=float))
+    d_depth = np.atleast_1d(np.asarray(d_depth, dtype=float))
+    d_silhouette = np.atleast_1d(np.asarray(d_silhouette, dtype=float))
+
+    for k in range(K):
+        cand = result.pixel_lists[k]
+        cache = result.caches[k]
+        if cache is None or cand.size == 0:
+            continue
+        pair = composite_backward(
+            cache,
+            proj.mean2d[cand],
+            proj.sigma2d[cand],
+            proj.depth[cand],
+            proj.opacity[cand],
+            proj.color[cand],
+            d_color[k:k + 1],
+            d_depth[k:k + 1],
+            d_silhouette[k:k + 1],
+        )
+        pg.accumulate(cand, pair)
+        stats.num_candidate_pairs += cand.size
+        stats.num_contrib_pairs += pair.num_pairs_touched
+        stats.num_atomic_adds += pair.num_pairs_touched
+        stats.pixel_list_lengths.append(int(cand.size))
+        stats.per_pixel_contribs.append(pair.num_pairs_touched)
+        stats.pixel_contrib_ids.append(
+            proj.source_index[cand[cache.contrib[0]]])
+
+    grads = reproject_gradients(proj, cloud, camera, pg)
+    grads.stats = stats
+    return grads

@@ -1,0 +1,232 @@
+"""Adaptive sparse pixel sampling (Sec. IV-A, the paper's first contribution).
+
+Tracking samples exactly one pixel per ``w_t x w_t`` tile; the paper shows
+uniform random selection within each tile matches or beats feature-based
+selection (Fig. 10), so :func:`sample_tracking_pixels` defaults to
+``strategy="random"`` but also implements the comparison strategies:
+
+- ``"random"`` — one uniformly random pixel per tile (the paper's choice);
+- ``"harris"`` — the highest Harris-response pixel per tile;
+- ``"center"`` — the tile centre (deterministic control);
+- ``"lowres"``  — the Low-Res. baseline: equivalent pixel positions of a
+  downsampled image (tile centres on a regular lattice);
+- ``"loss_tile"`` — the GauSPU baseline: whole tiles chosen by loss,
+  matching the total pixel budget but without global coverage.
+
+Mapping combines two pixel sets (Fig. 12): every *unseen* pixel, i.e.
+``Gamma_final > 0.5`` (Eqn. 2), plus one texture-weighted random pixel per
+``w_m x w_m`` tile with probability ``P(p) = w_R(p) * r`` (Eqn. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .features import harris_response, sobel_magnitude
+
+__all__ = [
+    "TRACKING_TILE",
+    "MAPPING_TILE",
+    "UNSEEN_TRANSMITTANCE",
+    "MappingSamples",
+    "sample_tracking_pixels",
+    "sample_mapping_pixels",
+    "unseen_mask",
+    "tile_origins",
+]
+
+# Default tile sizes from Sec. VII-A: w_t = 16, w_m = 4.
+TRACKING_TILE = 16
+MAPPING_TILE = 4
+# Eqn. 2: a pixel is unseen when its final transmittance exceeds 0.5.
+UNSEEN_TRANSMITTANCE = 0.5
+
+
+def tile_origins(width: int, height: int, tile: int) -> np.ndarray:
+    """``(T, 2)`` top-left ``(u0, v0)`` corner of every tile, row-major."""
+    us = np.arange(0, width, tile)
+    vs = np.arange(0, height, tile)
+    uu, vv = np.meshgrid(us, vs)
+    return np.stack([uu.ravel(), vv.ravel()], axis=-1)
+
+
+def _one_per_tile(width: int, height: int, tile: int,
+                  offsets_fn) -> np.ndarray:
+    """Pick one pixel per tile; ``offsets_fn(origin, tw, th)`` returns (du, dv)."""
+    origins = tile_origins(width, height, tile)
+    picks = np.empty_like(origins)
+    for i, (u0, v0) in enumerate(origins):
+        tw = min(tile, width - u0)
+        th = min(tile, height - v0)
+        du, dv = offsets_fn((u0, v0), tw, th)
+        picks[i] = (u0 + du, v0 + dv)
+    return picks
+
+
+def sample_tracking_pixels(
+    width: int,
+    height: int,
+    tile: int = TRACKING_TILE,
+    strategy: str = "random",
+    rng: np.random.Generator | None = None,
+    image: np.ndarray | None = None,
+    loss_map: np.ndarray | None = None,
+) -> np.ndarray:
+    """Select tracking pixels: one per ``tile x tile`` region.
+
+    Returns ``(K, 2)`` integer ``(u, v)`` coordinates in tile-row-major
+    order — the pixel of tile ``(tx, ty)`` is at index ``ty * tiles_x + tx``
+    — which is the lattice layout the accelerator's direct-indexing
+    projection unit assumes (Sec. V-C).  ``image`` is required for
+    ``"harris"``; ``loss_map`` for ``"loss_tile"``.
+    """
+    if tile <= 0:
+        raise ValueError("tile must be positive")
+    rng = rng or np.random.default_rng()
+
+    if strategy == "random":
+        picks = _one_per_tile(
+            width, height, tile,
+            lambda origin, tw, th: (rng.integers(tw), rng.integers(th)))
+    elif strategy == "center":
+        picks = _one_per_tile(
+            width, height, tile, lambda origin, tw, th: (tw // 2, th // 2))
+    elif strategy == "lowres":
+        # Downsampling by `tile` is equivalent to sampling the regular
+        # lattice of tile centres (no intra-tile randomness, no adaptivity).
+        picks = _one_per_tile(
+            width, height, tile, lambda origin, tw, th: (tw // 2, th // 2))
+    elif strategy == "harris":
+        if image is None:
+            raise ValueError("harris strategy needs the reference image")
+        response = harris_response(image)
+
+        def best_in_tile(origin, tw, th):
+            u0, v0 = origin
+            block = response[v0:v0 + th, u0:u0 + tw]
+            flat = int(np.argmax(block))
+            return flat % tw, flat // tw
+
+        picks = _one_per_tile(width, height, tile, best_in_tile)
+    elif strategy == "loss_tile":
+        if loss_map is None:
+            raise ValueError("loss_tile strategy needs a loss map")
+        return _loss_tile_pixels(width, height, tile, loss_map)
+    else:
+        raise ValueError(f"unknown tracking sampling strategy: {strategy!r}")
+
+    # Tile-row-major order: the pixel of tile (tx, ty) sits at index
+    # ty * tiles_x + tx.  The accelerator's direct-indexing projection
+    # unit (Sec. V-C) depends on this lattice layout.
+    return picks
+
+
+def _loss_tile_pixels(width: int, height: int, tile: int,
+                      loss_map: np.ndarray) -> np.ndarray:
+    """GauSPU-style tile selection: dense tiles ranked by summed loss.
+
+    Matches the one-pixel-per-tile budget: with T tiles of ``tile**2``
+    pixels each, selecting ``ceil(T / tile**2)`` whole tiles renders the
+    same number of pixels as our sampler but with no global coverage.
+    """
+    loss_map = np.asarray(loss_map, dtype=float)
+    origins = tile_origins(width, height, tile)
+    scores = np.array([
+        loss_map[v0:v0 + tile, u0:u0 + tile].sum() for u0, v0 in origins
+    ])
+    budget_pixels = len(origins)
+    picked: list = []
+    for t in np.argsort(-scores):
+        if len(picked) >= budget_pixels:
+            break
+        u0, v0 = origins[t]
+        tw = min(tile, width - u0)
+        th = min(tile, height - v0)
+        uu, vv = np.meshgrid(np.arange(u0, u0 + tw), np.arange(v0, v0 + th))
+        picked.extend(zip(uu.ravel(), vv.ravel()))
+    picks = np.asarray(picked[:budget_pixels], dtype=int)
+    return picks
+
+
+def unseen_mask(gamma_final: np.ndarray,
+                threshold: float = UNSEEN_TRANSMITTANCE) -> np.ndarray:
+    """Eqn. 2: boolean map of pixels whose transmittance exceeds ``threshold``."""
+    return np.asarray(gamma_final, dtype=float) > threshold
+
+
+@dataclass
+class MappingSamples:
+    """The two pixel sets the mapping sampler produces (Fig. 12).
+
+    They are kept separate because the accelerator stores unseen-pixel
+    indices apart from the per-tile lattice so they do not break the
+    projection unit's direct-indexing scheme (Sec. V-C).
+    """
+
+    unseen: np.ndarray    # (A, 2) every pixel with Gamma_final > 0.5
+    weighted: np.ndarray  # (B, 2) one texture-weighted pixel per tile
+
+    @property
+    def all_pixels(self) -> np.ndarray:
+        """Union of the two sets, duplicates removed, row-major order."""
+        combined = np.concatenate([self.unseen, self.weighted], axis=0)
+        if combined.size == 0:
+            return combined.reshape(0, 2)
+        unique = np.unique(combined, axis=0)
+        order = np.lexsort((unique[:, 0], unique[:, 1]))
+        return unique[order]
+
+
+def sample_mapping_pixels(
+    gamma_final: np.ndarray,
+    image: np.ndarray,
+    tile: int = MAPPING_TILE,
+    rng: np.random.Generator | None = None,
+    include_unseen: bool = True,
+    include_weighted: bool = True,
+    uniform_weights: bool = False,
+) -> MappingSamples:
+    """Select mapping pixels per Fig. 12.
+
+    Parameters
+    ----------
+    gamma_final:
+        ``(H, W)`` final transmittance of the *first* forward pass of this
+        mapping invocation (the paper computes it once per mapping).
+    image:
+        ``(H, W, 3)`` reference frame, used for the Sobel texture weight.
+    include_unseen / include_weighted:
+        Ablation switches for Fig. 24 ("Unseen", "Weighted", "Comb").
+    uniform_weights:
+        Replace the texture weight with a constant (plain random per tile),
+        another Fig. 24 ablation arm.
+    """
+    rng = rng or np.random.default_rng()
+    gamma_final = np.asarray(gamma_final, dtype=float)
+    height, width = gamma_final.shape
+
+    if include_unseen:
+        vs, us = np.nonzero(unseen_mask(gamma_final))
+        unseen = np.stack([us, vs], axis=-1)
+    else:
+        unseen = np.zeros((0, 2), dtype=int)
+
+    if include_weighted:
+        weight = (np.ones((height, width)) if uniform_weights
+                  else sobel_magnitude(image))
+        # P(p) = w_R(p) * r with r ~ U(0, 1): the argmax per tile is a
+        # weighted random draw (larger w_R wins more often).
+        score = weight * rng.random((height, width))
+        origins = tile_origins(width, height, tile)
+        weighted = np.empty_like(origins)
+        for i, (u0, v0) in enumerate(origins):
+            block = score[v0:v0 + tile, u0:u0 + tile]
+            flat = int(np.argmax(block))
+            tw = block.shape[1]
+            weighted[i] = (u0 + flat % tw, v0 + flat // tw)
+    else:
+        weighted = np.zeros((0, 2), dtype=int)
+
+    return MappingSamples(unseen=unseen, weighted=weighted)

@@ -1,0 +1,32 @@
+"""Synthetic RGB-D datasets standing in for Replica and TUM RGB-D."""
+
+from .replica import REPLICA_SEQUENCES, make_replica_sequence, make_replica_suite
+from .rgbd import RGBDFrame, RGBDSequence, render_sequence
+from .scene import SceneSpec, make_room_scene
+from .trajectory import (
+    look_at,
+    orbit_trajectory,
+    perturb_trajectory,
+    scan_trajectory,
+    trajectory_positions,
+)
+from .tum import TUM_SEQUENCES, make_tum_sequence, make_tum_suite
+
+__all__ = [
+    "REPLICA_SEQUENCES",
+    "make_replica_sequence",
+    "make_replica_suite",
+    "TUM_SEQUENCES",
+    "make_tum_sequence",
+    "make_tum_suite",
+    "RGBDFrame",
+    "RGBDSequence",
+    "render_sequence",
+    "SceneSpec",
+    "make_room_scene",
+    "look_at",
+    "orbit_trajectory",
+    "scan_trajectory",
+    "perturb_trajectory",
+    "trajectory_positions",
+]

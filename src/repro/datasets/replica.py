@@ -1,0 +1,88 @@
+"""Replica-like synthetic sequences.
+
+The Replica dataset has eight indoor sequences (room0-2, office0-4) of
+slow, smooth camera motion with clean depth.  We synthesize one procedural
+room per sequence name — distinct seed, extent, texture frequency, and
+trajectory — and render noiseless RGB-D along a smooth path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..gaussians.camera import Intrinsics
+from .rgbd import RGBDSequence, render_sequence
+from .scene import SceneSpec, make_room_scene
+from .trajectory import orbit_trajectory, scan_trajectory
+
+__all__ = ["REPLICA_SEQUENCES", "make_replica_sequence", "make_replica_suite"]
+
+REPLICA_SEQUENCES = (
+    "room0", "room1", "room2",
+    "office0", "office1", "office2", "office3", "office4",
+)
+
+# Per-sequence scene/trajectory parameters: (seed, extent, texture_scale,
+# furniture, trajectory kind).
+_SEQUENCE_PARAMS = {
+    "room0": (10, 3.5, 1.0, 3, "orbit"),
+    "room1": (11, 4.0, 1.3, 2, "orbit"),
+    "room2": (12, 3.0, 0.8, 4, "scan"),
+    "office0": (20, 4.5, 1.1, 4, "orbit"),
+    "office1": (21, 3.8, 0.9, 3, "scan"),
+    "office2": (22, 4.2, 1.4, 5, "orbit"),
+    "office3": (23, 3.6, 1.0, 3, "scan"),
+    "office4": (24, 4.8, 1.2, 4, "orbit"),
+}
+
+
+def make_replica_sequence(
+    name: str,
+    n_frames: int = 30,
+    width: int = 80,
+    height: int = 60,
+    surface_density: float = 14.0,
+    intrinsics: Optional[Intrinsics] = None,
+) -> RGBDSequence:
+    """Build one replica-like sequence by name.
+
+    Sizes default to a laptop-scale proxy of the 1200x680@2000-frame
+    originals; all experiments scale them consistently.
+    """
+    if name not in _SEQUENCE_PARAMS:
+        raise KeyError(
+            f"unknown replica-like sequence {name!r}; "
+            f"choose from {REPLICA_SEQUENCES}")
+    seed, extent, tex, furniture, kind = _SEQUENCE_PARAMS[name]
+    spec = SceneSpec(extent=extent, texture_scale=tex, furniture=furniture,
+                     surface_density=surface_density, seed=seed)
+    cloud = make_room_scene(spec)
+    intr = intrinsics or Intrinsics.from_fov(width, height, 75.0)
+
+    if kind == "orbit":
+        # ~0.035 rad of orbit per frame: slow indoor motion comparable to
+        # Replica's 2000-frame sweeps once scaled to our frame counts.
+        poses = orbit_trajectory(
+            n_frames, radius=0.35 * extent, look_radius=extent,
+            height=-0.1, sweep=0.035 * n_frames, phase=seed * 0.7)
+    else:
+        rng = np.random.default_rng(seed)
+        span = min(1.0, 0.02 * n_frames)
+        start = np.array([-0.4 * extent * span, -0.1, -0.4 * extent * span])
+        end = np.array([0.4 * extent * span, 0.0, 0.3 * extent * span])
+        target = np.array([0.9 * extent * np.cos(seed),
+                           0.0,
+                           0.9 * extent * np.sin(seed)])
+        poses = scan_trajectory(n_frames, start, end, target,
+                                bob=0.03 + 0.01 * rng.random())
+    return render_sequence(name, cloud, poses, intr)
+
+
+def make_replica_suite(
+    names: Optional[List[str]] = None, **kwargs
+) -> List[RGBDSequence]:
+    """Build several replica-like sequences (all eight by default)."""
+    names = list(REPLICA_SEQUENCES) if names is None else names
+    return [make_replica_sequence(n, **kwargs) for n in names]

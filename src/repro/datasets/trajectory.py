@@ -1,0 +1,108 @@
+"""Ground-truth camera trajectory generators.
+
+All trajectories are sequences of camera-to-world 4x4 poses.  The replica-
+like sequences use smooth orbit/scan paths (slow indoor motion); the
+tum-like sequences perturb them with faster, jerkier motion.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..gaussians.se3 import se3_exp
+
+__all__ = ["look_at", "orbit_trajectory", "scan_trajectory",
+           "perturb_trajectory", "trajectory_positions"]
+
+
+def look_at(eye: np.ndarray, target: np.ndarray,
+            up: np.ndarray = None) -> np.ndarray:
+    """Camera-to-world pose with +z toward ``target`` and y roughly ``up``.
+
+    ``up`` defaults to world -y being "up" is *not* assumed; we use
+    ``(0, 1, 0)`` (y down convention: image v grows along world +y).
+    """
+    eye = np.asarray(eye, dtype=float)
+    target = np.asarray(target, dtype=float)
+    up = np.array([0.0, 1.0, 0.0]) if up is None else np.asarray(up, float)
+
+    forward = target - eye
+    norm = np.linalg.norm(forward)
+    if norm < 1e-9:
+        raise ValueError("eye and target coincide")
+    forward = forward / norm
+    right = np.cross(up, forward)
+    rn = np.linalg.norm(right)
+    if rn < 1e-9:
+        # forward parallel to up; pick an arbitrary right vector.
+        right = np.cross(np.array([1.0, 0.0, 0.0]), forward)
+        rn = np.linalg.norm(right)
+    right = right / rn
+    down = np.cross(forward, right)
+
+    T = np.eye(4)
+    T[:3, 0] = right
+    T[:3, 1] = down
+    T[:3, 2] = forward
+    T[:3, 3] = eye
+    return T
+
+
+def orbit_trajectory(n_frames: int, radius: float = 1.2,
+                     center: np.ndarray = None,
+                     look_radius: float = 2.5,
+                     height: float = 0.0,
+                     sweep: float = 1.5 * np.pi,
+                     phase: float = 0.0) -> List[np.ndarray]:
+    """Orbit around ``center`` while looking outwards at the room walls.
+
+    Looking outward (rather than at the centre) makes new wall regions
+    come into view continuously, which exercises the mapper's unseen-pixel
+    sampling.
+    """
+    center = np.zeros(3) if center is None else np.asarray(center, float)
+    poses = []
+    for i in range(n_frames):
+        t = phase + sweep * i / max(n_frames - 1, 1)
+        eye = center + np.array([radius * np.cos(t), height,
+                                 radius * np.sin(t)])
+        target = center + np.array([look_radius * np.cos(t), height * 0.5,
+                                    look_radius * np.sin(t)])
+        poses.append(look_at(eye, target))
+    return poses
+
+
+def scan_trajectory(n_frames: int, start: np.ndarray, end: np.ndarray,
+                    target: np.ndarray, bob: float = 0.05) -> List[np.ndarray]:
+    """Linear dolly from ``start`` to ``end`` watching ``target``."""
+    start = np.asarray(start, float)
+    end = np.asarray(end, float)
+    target = np.asarray(target, float)
+    poses = []
+    for i in range(n_frames):
+        s = i / max(n_frames - 1, 1)
+        eye = (1 - s) * start + s * end
+        eye = eye + np.array([0.0, bob * np.sin(4 * np.pi * s), 0.0])
+        poses.append(look_at(eye, target))
+    return poses
+
+
+def perturb_trajectory(poses: List[np.ndarray], rng: np.random.Generator,
+                       trans_sigma: float = 0.01,
+                       rot_sigma: float = 0.01) -> List[np.ndarray]:
+    """Add per-frame jitter (fast hand-held motion, TUM-style)."""
+    out = []
+    for T in poses:
+        xi = np.concatenate([
+            rng.normal(0.0, trans_sigma, 3),
+            rng.normal(0.0, rot_sigma, 3),
+        ])
+        out.append(T @ se3_exp(xi))
+    return out
+
+
+def trajectory_positions(poses: List[np.ndarray]) -> np.ndarray:
+    """Stack the (N, 3) camera centres of a pose list."""
+    return np.stack([T[:3, 3] for T in poses], axis=0)

@@ -1,0 +1,119 @@
+"""Anisotropic covariance math for full 3DGS Gaussians.
+
+The SLAM stack follows SplaTAM and uses isotropic Gaussians, but the
+original 3DGS representation (and MonoGS-style systems) parameterize each
+Gaussian with a full 3D covariance ``Sigma = R diag(s^2) R^T`` built from
+a unit quaternion and per-axis scales.  This module provides that algebra
+with analytic derivatives, consumed by :mod:`repro.render.anisotropic`:
+
+- :func:`build_covariance` — ``(q, s) -> Sigma`` (N, 3, 3);
+- :func:`covariance_gradients` — pull a ``dL/dSigma`` back to
+  ``dL/d log s`` and ``dL/dq``;
+- :func:`quat_rotation_derivatives` — ``dR/dq_i`` for unit-normalized
+  quaternions (the normalization Jacobian is included).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .se3 import quat_to_rotmat
+
+__all__ = ["build_covariance", "quat_rotation_derivatives",
+           "covariance_gradients"]
+
+
+def build_covariance(quaternions: np.ndarray,
+                     scales: np.ndarray) -> np.ndarray:
+    """``Sigma = R diag(s^2) R^T`` for ``(N, 4)`` quats and ``(N, 3)`` scales."""
+    R = quat_to_rotmat(quaternions)
+    s2 = np.asarray(scales, dtype=float) ** 2
+    return np.einsum("nij,nj,nkj->nik", R, s2, R)
+
+
+def _raw_rotation_derivatives(q: np.ndarray):
+    """``dR/dq_i`` of the *unnormalized* quaternion-to-matrix map.
+
+    For the normalized map used by :func:`repro.gaussians.quat_to_rotmat`,
+    chain with the normalization Jacobian (see
+    :func:`quat_rotation_derivatives`).  Input is a unit quaternion
+    ``(w, x, y, z)``; returns ``(4, 3, 3)``.
+    """
+    w, x, y, z = q
+    dw = 2 * np.array([
+        [0.0, -z, y],
+        [z, 0.0, -x],
+        [-y, x, 0.0],
+    ])
+    dx = 2 * np.array([
+        [0.0, y, z],
+        [y, -2 * x, -w],
+        [z, w, -2 * x],
+    ])
+    dy = 2 * np.array([
+        [-2 * y, x, w],
+        [x, 0.0, z],
+        [-w, z, -2 * y],
+    ])
+    dz = 2 * np.array([
+        [-2 * z, -w, x],
+        [w, -2 * z, y],
+        [x, y, 0.0],
+    ])
+    return np.stack([dw, dx, dy, dz])
+
+
+def quat_rotation_derivatives(quaternions: np.ndarray) -> np.ndarray:
+    """``dR/dq`` of the normalized map, shape ``(N, 4, 3, 3)``.
+
+    Because rendering normalizes quaternions first, the derivative w.r.t.
+    the *stored* quaternion includes the projection onto the unit sphere:
+    ``dR/dq_stored = (I - qq^T)/|q| . dR/dq_unit``.
+    """
+    q = np.atleast_2d(np.asarray(quaternions, dtype=float))
+    n = q.shape[0]
+    out = np.empty((n, 4, 3, 3))
+    for i in range(n):
+        norm = np.linalg.norm(q[i])
+        unit = q[i] / norm
+        raw = _raw_rotation_derivatives(unit)          # (4, 3, 3)
+        proj = (np.eye(4) - np.outer(unit, unit)) / norm
+        out[i] = np.einsum("ab,bij->aij", proj, raw)
+    return out
+
+
+def covariance_gradients(quaternions: np.ndarray, scales: np.ndarray,
+                         d_sigma: np.ndarray):
+    """Pull ``dL/dSigma`` back to the covariance parameters.
+
+    Parameters
+    ----------
+    quaternions, scales:
+        ``(N, 4)`` and ``(N, 3)`` covariance parameters.
+    d_sigma:
+        ``(N, 3, 3)`` loss gradients w.r.t. the covariance matrices (will
+        be symmetrized; only the symmetric part is observable).
+
+    Returns
+    -------
+    ``(d_log_scales, d_quaternions)`` of shapes ``(N, 3)`` and ``(N, 4)``.
+    """
+    q = np.atleast_2d(np.asarray(quaternions, dtype=float))
+    s = np.atleast_2d(np.asarray(scales, dtype=float))
+    G = np.asarray(d_sigma, dtype=float)
+    G = 0.5 * (G + np.swapaxes(G, -1, -2))
+
+    R = quat_to_rotmat(q)
+    # d Sigma / d s_k = R (d diag(s^2)/d s_k) R^T  =>
+    # dL/d s_k = 2 s_k (R^T G R)_kk ; log-scale chain adds another s_k.
+    RtGR = np.einsum("nji,njk,nkl->nil", R, G, R)
+    diag = np.einsum("nii->ni", RtGR)
+    d_log_scales = 2.0 * (s ** 2) * diag
+
+    # d Sigma / d q_a = dR_a S2 R^T + R S2 dR_a^T  (S2 = diag(s^2));
+    # with G symmetric:  dL/d q_a = 2 tr(G dR_a S2 R^T).
+    dR = quat_rotation_derivatives(q)                   # (N, 4, 3, 3)
+    S2Rt = (s ** 2)[:, :, None] * np.swapaxes(R, -1, -2)  # (N, 3, 3)
+    M = np.einsum("nij,najk->naik", G, dR)              # G dR_a
+    d_quats = 2.0 * np.einsum("naik,nki->na", M, S2Rt)
+    return d_log_scales, d_quats

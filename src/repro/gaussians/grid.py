@@ -1,0 +1,133 @@
+"""Uniform voxel grid over a Gaussian cloud: coarse spatial queries.
+
+At the paper's deployment point the map holds hundreds of thousands of
+Gaussians; projecting every one of them each iteration to discover the
+in-frustum subset is wasteful.  A uniform grid keyed on quantized means
+lets the projection stage fetch only the cells that intersect the view
+frustum — the "coarse spatial structure" assumption behind the hardware
+models' parameter-streaming traffic.
+
+The grid is conservative: a frustum query returns a superset of the truly
+visible Gaussians (cells are tested by their bounding spheres against the
+frustum planes), never a subset, so rendering through it is lossless.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .camera import Camera
+
+__all__ = ["VoxelGrid", "frustum_planes"]
+
+
+def frustum_planes(camera: Camera, near: float = 0.01,
+                   far: float = 100.0) -> np.ndarray:
+    """Inward-pointing frustum planes ``(6, 4)`` as ``(n, d)``: n.x + d >= 0.
+
+    Planes: near, far, left, right, top, bottom, in world coordinates.
+    """
+    intr = camera.intrinsics
+    c2w = camera.pose_c2w
+    R, t = c2w[:3, :3], c2w[:3, 3]
+
+    # Camera-frame half-angles of the image edges.
+    tan_l = intr.cx / intr.fx
+    tan_r = (intr.width - intr.cx) / intr.fx
+    tan_t = intr.cy / intr.fy
+    tan_b = (intr.height - intr.cy) / intr.fy
+
+    # Camera-frame plane normals (pointing inside the frustum).
+    normals_cam = [
+        np.array([0.0, 0.0, 1.0]),                 # near: z >= near
+        np.array([0.0, 0.0, -1.0]),                # far:  z <= far
+        _normalize(np.array([1.0, 0.0, tan_l])),   # left edge
+        _normalize(np.array([-1.0, 0.0, tan_r])),  # right edge
+        _normalize(np.array([0.0, 1.0, tan_t])),   # top edge (y down)
+        _normalize(np.array([0.0, -1.0, tan_b])),  # bottom edge
+    ]
+    offsets_cam = [-near, far, 0.0, 0.0, 0.0, 0.0]
+
+    planes = np.empty((6, 4))
+    for i, (n_cam, d_cam) in enumerate(zip(normals_cam, offsets_cam)):
+        n_world = R @ n_cam
+        # n_cam . p_cam + d >= 0 with p_cam = R^T (p - t).
+        planes[i, :3] = n_world
+        planes[i, 3] = d_cam - n_world @ t
+    return planes
+
+
+def _normalize(v: np.ndarray) -> np.ndarray:
+    return v / np.linalg.norm(v)
+
+
+@dataclass
+class VoxelGrid:
+    """Hash grid of Gaussian indices keyed by quantized means."""
+
+    cell_size: float
+    cells: Dict[Tuple[int, int, int], np.ndarray] = field(default_factory=dict)
+    # Per-cell conservative bounding radius: half diagonal + max splat extent.
+    pad_radius: float = 0.0
+
+    @classmethod
+    def build(cls, means: np.ndarray, cell_size: float,
+              max_extent: float = 0.0) -> "VoxelGrid":
+        """Index ``(N, 3)`` means; ``max_extent`` pads queries for splat size."""
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        means = np.atleast_2d(np.asarray(means, dtype=float))
+        keys = np.floor(means / cell_size).astype(int)
+        buckets: Dict[Tuple[int, int, int], List[int]] = defaultdict(list)
+        for i, key in enumerate(map(tuple, keys)):
+            buckets[key].append(i)
+        cells = {k: np.asarray(v, dtype=int) for k, v in buckets.items()}
+        pad = cell_size * np.sqrt(3.0) / 2.0 + float(max_extent)
+        return cls(cell_size=cell_size, cells=cells, pad_radius=pad)
+
+    @property
+    def num_indexed(self) -> int:
+        return int(sum(len(v) for v in self.cells.values()))
+
+    def _cell_centres(self) -> Tuple[np.ndarray, List[np.ndarray]]:
+        keys = np.array(list(self.cells.keys()), dtype=float)
+        centres = (keys + 0.5) * self.cell_size
+        return centres, list(self.cells.values())
+
+    def query_frustum(self, camera: Camera, near: float = 0.01,
+                      far: float = 100.0) -> np.ndarray:
+        """Indices of Gaussians in cells intersecting the view frustum.
+
+        Conservative: tests each cell's bounding sphere against the six
+        frustum planes, so the result is a superset of the visible set.
+        """
+        if not self.cells:
+            return np.zeros(0, dtype=int)
+        planes = frustum_planes(camera, near, far)
+        centres, index_lists = self._cell_centres()
+        signed = centres @ planes[:, :3].T + planes[None, :, 3]
+        inside = np.all(signed >= -self.pad_radius, axis=1)
+        if not np.any(inside):
+            return np.zeros(0, dtype=int)
+        picked = [index_lists[i] for i in np.nonzero(inside)[0]]
+        return np.sort(np.concatenate(picked))
+
+    def query_radius(self, point: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of Gaussians within ``radius`` cells of ``point``.
+
+        Conservative at cell granularity (returns whole cells whose centre
+        lies within ``radius + pad``).
+        """
+        if not self.cells:
+            return np.zeros(0, dtype=int)
+        point = np.asarray(point, dtype=float)
+        centres, index_lists = self._cell_centres()
+        close = np.linalg.norm(centres - point, axis=1) <= radius + self.pad_radius
+        if not np.any(close):
+            return np.zeros(0, dtype=int)
+        picked = [index_lists[i] for i in np.nonzero(close)[0]]
+        return np.sort(np.concatenate(picked))

@@ -1,0 +1,105 @@
+"""Per-operation energy tables and the energy accounting model.
+
+Energies are picojoules per operation at the **16 nm reference node** and
+follow the widely used Horowitz-style numbers (ISSCC'14) extrapolated to
+16 nm, with LPDDR3 DRAM energy per the Micron power calculators the paper
+cites.  Accelerator energies are scaled between nodes with
+:mod:`repro.hw.scaling`; DRAM energy does not scale with the logic node.
+
+These absolute values carry the usual model uncertainty; all paper-facing
+results use them only inside ratios (energy savings vs the GPU baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .scaling import scale_energy
+
+__all__ = ["OpEnergies", "EnergyLedger", "ACCEL_OPS", "GPU_OPS",
+           "DRAM_PJ_PER_BYTE"]
+
+# LPDDR3-1600 x 4 channels: ~15 pJ/byte including I/O and activation
+# amortization (Micron system power calculator ballpark).
+DRAM_PJ_PER_BYTE = 15.0
+
+
+@dataclass(frozen=True)
+class OpEnergies:
+    """Energy per operation in pJ at a given technology node."""
+
+    node_nm: int
+    flop: float            # fused 32-bit multiply-add
+    special: float         # exp/rsqrt evaluation (SFU or LUT lookup)
+    sram_byte: float       # on-chip SRAM access per byte
+    reg_byte: float        # register/operand movement per byte
+    atomic: float          # atomic update (read-modify-write at L2)
+    dram_byte: float = DRAM_PJ_PER_BYTE
+    # Static/idle power is folded into a per-cycle overhead.
+    background_per_cycle: float = 0.0
+
+    def scaled_to(self, node_nm: int) -> "OpEnergies":
+        """Return this table scaled to another logic node (DRAM unscaled)."""
+        f = lambda v: scale_energy(v, self.node_nm, node_nm)
+        return OpEnergies(
+            node_nm=node_nm,
+            flop=f(self.flop),
+            special=f(self.special),
+            sram_byte=f(self.sram_byte),
+            reg_byte=f(self.reg_byte),
+            atomic=f(self.atomic),
+            dram_byte=self.dram_byte,
+            background_per_cycle=f(self.background_per_cycle),
+        )
+
+
+# Dedicated accelerator datapath at 16 nm: lean operand delivery, short
+# wires, no instruction overhead.
+ACCEL_OPS = OpEnergies(
+    node_nm=16,
+    flop=1.2,
+    special=2.0,       # the 64-entry LUT makes exp barely costlier than a MAC
+    sram_byte=0.8,
+    reg_byte=0.1,
+    atomic=4.0,
+    background_per_cycle=2.0,
+)
+
+# GPU at 8 nm (Orin's node): each math op drags instruction fetch/decode,
+# register-file traffic, and shared-memory overheads along — the classic
+# ~10-30x energy-per-op gap between GPUs and fixed-function logic.
+GPU_OPS = OpEnergies(
+    node_nm=8,
+    flop=15.0,
+    special=60.0,      # SFU op + the issue overhead of the transcendental path
+    sram_byte=6.0,     # shared memory / L1
+    reg_byte=1.5,
+    atomic=150.0,      # L2 read-modify-write with retry traffic
+    background_per_cycle=400.0,  # fixed SoC overhead per GPU-active cycle
+)
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates operation counts and converts them to joules."""
+
+    ops: OpEnergies
+    counts: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, kind: str, count: float) -> None:
+        """Record ``count`` operations of ``kind`` (an OpEnergies field)."""
+        if not hasattr(self.ops, kind):
+            raise KeyError(f"unknown op kind {kind!r}")
+        self.counts[kind] = self.counts.get(kind, 0.0) + float(count)
+
+    def total_joules(self) -> float:
+        """Total energy of everything recorded, in joules."""
+        pj = sum(getattr(self.ops, kind) * count
+                 for kind, count in self.counts.items())
+        return pj * 1e-12
+
+    def breakdown_joules(self) -> Dict[str, float]:
+        """Energy per op kind, in joules."""
+        return {kind: getattr(self.ops, kind) * count * 1e-12
+                for kind, count in self.counts.items()}

@@ -1,0 +1,362 @@
+"""Performance and energy model of the mobile Ampere GPU (Orin SoC).
+
+The paper measures a mobile Ampere GPU; we model it from the workload
+counters with the mechanisms its characterization identified:
+
+1. **Warp divergence** in pixel-parallel rasterization (Figs. 6/7) —
+   derived from the per-pixel contribution counts.
+2. **SFU-bound α-checking** (Fig. 9) — exp() runs on special functional
+   units with a fraction of the FMA throughput.
+3. **atomicAdd serialization** in gradient aggregation (Fig. 8) —
+   contention grows with simultaneous updates per Gaussian.
+4. **DRAM rooflines** — tile lists are reused by 256 pixels, per-pixel
+   lists are not; the missing reuse is what limits the pixel pipeline at
+   dense sampling rates (Fig. 25's crossover).
+5. **Occupancy, kernel-launch, and per-iteration host overhead** — the
+   Amdahl terms that cap sparse speedups (103x measured vs 256x ideal in
+   Fig. 11; 14.6x end-to-end in Fig. 19).
+
+Instruction-count and contention constants are calibrated so the *dense
+SplaTAM* workload reproduces the paper's measured Orin breakdown
+(rasterization + reverse rasterization ~95 % of time, α-checking ~43 %/34 %
+of the two stages, aggregation ~63 % of reverse rasterization).  All
+stage latencies come from counters in :class:`~repro.hw.workload.Workload`;
+the model never re-renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..render.stats import PipelineStats
+from .energy import GPU_OPS, EnergyLedger, OpEnergies
+from .workload import Workload
+
+__all__ = ["GpuSpec", "StageTimes", "GpuModel", "GAUSSIAN_BYTES",
+           "GRADIENT_BYTES"]
+
+# Packed Gaussian record streamed by rasterization: mean2d, sigma, depth,
+# opacity, color, id.
+GAUSSIAN_BYTES = 40
+# One Gaussian's gradient tuple: d_mean2d(2) d_sigma d_opacity d_color(3)
+# d_depth as fp32.
+GRADIENT_BYTES = 32
+# Full parameter record read by projection / written by the optimizer.
+PARAM_BYTES = 64
+# Scalar atomic adds per aggregated pair (the 8 gradient components).
+GRADS_PER_PAIR = 8
+
+# Instruction-count constants (FMA-equivalents per work item), calibrated
+# against the paper's Orin characterization (see module docstring).
+PROJ_FLOPS_PER_GAUSSIAN = 120   # transform, project, sigma, bbox
+TILE_INSERT_FLOPS = 10          # per tile-Gaussian table entry
+ALPHA_FLOPS = 6                 # d2, scaling, compare (excl. the exp itself)
+INTEGRATE_FLOPS = 38            # weight, channel MACs, Gamma update, masks
+SORT_FLOPS_PER_KEY = 24         # radix passes amortized
+BWD_PAIR_FLOPS = 58             # suffix terms + 7 partial gradients
+REDUCTION_FLOPS_PER_PIXEL = 64  # cross-warp reductions (pixel pipeline)
+REPROJECT_FLOPS_PER_GAUSSIAN = 80
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A mobile-Ampere-class GPU (Orin NX ballpark)."""
+
+    name: str = "mobile-ampere"
+    sms: int = 8
+    cores_per_sm: int = 128
+    sfu_per_sm: int = 16
+    clock_hz: float = 918e6
+    warp_size: int = 32
+    min_warps_per_sm: int = 8        # warps needed to hide latency
+    blocks_per_sm: int = 2           # concurrent tile blocks per SM
+    atomic_lanes: int = 32           # scalar atomics retired per cycle
+    atomic_cycles: int = 1           # per scalar atomic, uncontended
+    # Fitted contention curve: serialization grows with the square root of
+    # simultaneous updates per Gaussian (calibrated to Fig. 8's 63.5 %).
+    atomic_contention_scale: float = 2.0
+    atomic_contention_max: float = 8.0
+    kernel_launch_s: float = 8e-6    # driver + dispatch per kernel
+    # Host-side per-iteration overhead: loss kernels, optimizer step,
+    # synchronization (PyTorch-on-Orin ballpark; calibrated to Fig. 19).
+    iteration_overhead_s: float = 6e-3
+    dram_bw_bytes_per_s: float = 60e9
+    # Fraction of atomic read-modify-writes that miss L2 and reach DRAM
+    # (the rest coalesce on popular Gaussians; calibrated to Fig. 8).
+    atomic_dram_factor: float = 0.25
+    # Achieved fraction of peak math throughput for these irregular,
+    # latency-bound kernels (calibrated to SplaTAM's ~0.1 Hz on Orin).
+    compute_efficiency: float = 0.15
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.sms * self.cores_per_sm
+
+    @property
+    def sfu_ops_per_cycle(self) -> float:
+        return self.sms * self.sfu_per_sm
+
+
+@dataclass
+class StageTimes:
+    """Per-stage latency (seconds) of one training iteration."""
+
+    projection: float = 0.0
+    sorting: float = 0.0
+    rasterization: float = 0.0
+    reverse_rasterization: float = 0.0
+    aggregation: float = 0.0
+    reprojection: float = 0.0
+    launch: float = 0.0
+    overhead: float = 0.0
+    # Sub-components used by Figs. 8/9.
+    alpha_check_fwd: float = 0.0
+    alpha_check_bwd: float = 0.0
+
+    @property
+    def forward(self) -> float:
+        return self.projection + self.sorting + self.rasterization
+
+    @property
+    def backward(self) -> float:
+        return self.reverse_rasterization + self.aggregation + self.reprojection
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.backward + self.launch + self.overhead
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "projection": self.projection,
+            "sorting": self.sorting,
+            "rasterization": self.rasterization,
+            "reverse_rasterization": self.reverse_rasterization,
+            "aggregation": self.aggregation,
+            "reprojection": self.reprojection,
+            "launch": self.launch,
+            "overhead": self.overhead,
+        }
+
+
+class GpuModel:
+    """Latency/energy model of a training iteration on the mobile GPU."""
+
+    def __init__(self, spec: GpuSpec = GpuSpec(), ops: OpEnergies = GPU_OPS):
+        self.spec = spec
+        self.ops = ops
+
+    # ---- helpers ----
+
+    def _seconds(self, cycles: float) -> float:
+        return cycles / self.spec.clock_hz
+
+    def _occupancy(self, warps: float) -> float:
+        """Fraction of peak throughput achievable with this many warps."""
+        needed = self.spec.sms * self.spec.min_warps_per_sm
+        if warps <= 0:
+            return 1.0
+        return min(1.0, warps / needed)
+
+    def _stage_time(self, flops: float, sfu_ops: float, dram_bytes: float,
+                    occupancy: float = 1.0) -> float:
+        """Roofline over the FMA pipe, the SFU pipe, and DRAM bandwidth."""
+        flop_cycles = flops / self.spec.flops_per_cycle
+        sfu_cycles = sfu_ops / self.spec.sfu_ops_per_cycle
+        derate = max(occupancy, 1e-6) * self.spec.compute_efficiency
+        compute = self._seconds(max(flop_cycles, sfu_cycles) / derate)
+        memory = dram_bytes / self.spec.dram_bw_bytes_per_s
+        return max(compute, memory)
+
+    def _tile_warp_rounds(self, stats: PipelineStats, warp: int):
+        """(warp-Gaussian rounds, warps, block derate) of a tile raster.
+
+        A tile is a thread block whose threads walk the sorted list in
+        lockstep until the *slowest pixel's* early termination — the
+        recorded ``serial_len`` — so rounds use the serial depth, not the
+        raw list length.  Blocks with few live warps (the Org.+S case:
+        one sampled pixel -> one warp) cannot hide latency inside the
+        block, which the returned derate captures.
+        """
+        rounds = 0
+        warps = 0
+        blocks = 0
+        for _list_len, n_px, serial_len in stats.tile_work:
+            w = -(-n_px // warp)
+            warps += w
+            blocks += 1
+            rounds += w * serial_len
+        if blocks == 0:
+            return 0, 0, 1.0
+        warps_per_block = warps / blocks
+        derate = min(1.0, (self.spec.blocks_per_sm * warps_per_block)
+                     / self.spec.min_warps_per_sm)
+        return rounds, warps, derate
+
+    @staticmethod
+    def _pixel_rounds(stats: PipelineStats, warp: int) -> float:
+        lens = np.asarray(stats.pixel_list_lengths, dtype=float)
+        return float(np.ceil(lens / warp).sum()) if lens.size else 0.0
+
+    # ---- forward stages ----
+
+    def projection_time(self, stats: PipelineStats) -> float:
+        flops = stats.num_projected * PROJ_FLOPS_PER_GAUSSIAN
+        sfu = 0.0
+        dram = stats.num_projected * PARAM_BYTES
+        if stats.pipeline == "tile":
+            flops += stats.num_tile_pairs * TILE_INSERT_FLOPS
+            dram += stats.num_tile_pairs * 8          # table entries out
+        else:
+            # Pixel pipeline: per-pixel projection + preemptive alpha-check
+            # moved into this stage.
+            flops += stats.num_candidate_pairs * ALPHA_FLOPS
+            sfu += stats.num_alpha_checks
+            dram += stats.num_sort_keys * 8           # surviving pairs out
+        return self._stage_time(flops, sfu, dram)
+
+    def sorting_time(self, stats: PipelineStats) -> float:
+        keys = stats.num_sort_keys
+        return self._stage_time(keys * SORT_FLOPS_PER_KEY, 0.0, keys * 16)
+
+    def rasterization_time(self, stats: PipelineStats):
+        """Returns (total seconds, alpha-check seconds) of forward raster."""
+        warp = self.spec.warp_size
+        if stats.pipeline == "tile":
+            rounds, warps, derate = self._tile_warp_rounds(stats, warp)
+            occ = self._occupancy(warps) * derate
+            # Every lane alpha-checks every Gaussian its block examines;
+            # the tile list is streamed once per tile (shared by pixels).
+            alpha_slots = rounds * warp
+            util = max(stats.warp_utilization(warp), 1e-3)
+            integ_slots = stats.num_contrib_pairs / util
+            list_bytes = sum(t[2] for t in stats.tile_work) * GAUSSIAN_BYTES
+            t_alpha = self._stage_time(alpha_slots * ALPHA_FLOPS,
+                                       alpha_slots, list_bytes, occ)
+            t_integ = self._stage_time(integ_slots * INTEGRATE_FLOPS,
+                                       0.0, 0.0, occ)
+            return t_alpha + t_integ, t_alpha
+        # Pixel pipeline: Gaussian-parallel, no alpha-check here, but every
+        # pixel streams its own list (no cross-pixel reuse).
+        rounds = self._pixel_rounds(stats, warp)
+        slots = rounds * warp
+        # One warp co-renders one pixel: blocks hold a single warp, so
+        # intra-block latency hiding is poor (same derate as Org.+S).
+        derate = min(1.0, self.spec.blocks_per_sm / self.spec.min_warps_per_sm)
+        occ = self._occupancy(max(stats.num_pixels, 1)) * derate
+        flops = (slots * INTEGRATE_FLOPS
+                 + stats.num_pixels * REDUCTION_FLOPS_PER_PIXEL)
+        dram = sum(stats.pixel_list_lengths) * GAUSSIAN_BYTES
+        return self._stage_time(flops, 0.0, dram, occ), 0.0
+
+    # ---- backward stages ----
+
+    def reverse_rasterization_time(self, stats: PipelineStats):
+        """Returns (gradient-compute seconds, alpha seconds) of the reverse
+        rasterization stage, excluding aggregation."""
+        warp = self.spec.warp_size
+        if stats.pipeline == "tile":
+            rounds, warps, derate = self._tile_warp_rounds(stats, warp)
+            occ = self._occupancy(warps) * derate
+            alpha_slots = rounds * warp
+            util = max(stats.warp_utilization(warp), 1e-3)
+            grad_slots = stats.num_contrib_pairs / util
+            list_bytes = sum(t[2] for t in stats.tile_work) * GAUSSIAN_BYTES
+            t_alpha = self._stage_time(alpha_slots * ALPHA_FLOPS,
+                                       alpha_slots, list_bytes, occ)
+            t_grad = self._stage_time(grad_slots * BWD_PAIR_FLOPS,
+                                      0.0, 0.0, occ)
+            return t_alpha + t_grad, t_alpha
+        rounds = self._pixel_rounds(stats, warp)
+        slots = rounds * warp
+        derate = min(1.0, self.spec.blocks_per_sm / self.spec.min_warps_per_sm)
+        occ = self._occupancy(max(stats.num_pixels, 1)) * derate
+        # Two reduction rounds: Gamma prefix and the gradient reduction.
+        flops = (slots * BWD_PAIR_FLOPS
+                 + 2 * stats.num_pixels * REDUCTION_FLOPS_PER_PIXEL)
+        dram = sum(stats.pixel_list_lengths) * GAUSSIAN_BYTES
+        return self._stage_time(flops, 0.0, dram, occ), 0.0
+
+    def aggregation_time(self, stats: PipelineStats) -> float:
+        """atomicAdd gradient accumulation with contention serialization."""
+        atomics = stats.num_atomic_adds * GRADS_PER_PAIR
+        if atomics == 0:
+            return 0.0
+        per_gaussian = stats.num_atomic_adds / max(stats.num_projected, 1)
+        contention = float(np.clip(
+            np.sqrt(per_gaussian) / self.spec.atomic_contention_scale,
+            1.0, self.spec.atomic_contention_max))
+        cycles = (atomics * self.spec.atomic_cycles * contention
+                  / self.spec.atomic_lanes)
+        # RMW traffic that actually reaches DRAM after L2 coalescing.
+        dram = (stats.num_atomic_adds * GRADIENT_BYTES * 2
+                * self.spec.atomic_dram_factor)
+        return max(self._seconds(cycles),
+                   dram / self.spec.dram_bw_bytes_per_s)
+
+    def reprojection_time(self, stats: PipelineStats) -> float:
+        return self._stage_time(
+            stats.num_projected * REPROJECT_FLOPS_PER_GAUSSIAN, 0.0,
+            stats.num_projected * GRADIENT_BYTES)
+
+    # ---- per-iteration totals ----
+
+    def iteration_times(self, workload: Workload) -> StageTimes:
+        """Average per-iteration stage latencies of a workload."""
+        it = max(workload.iterations, 1)
+        fwd, bwd = workload.fwd, workload.bwd
+        t = StageTimes()
+        t.projection = self.projection_time(fwd) / it
+        t.sorting = self.sorting_time(fwd) / it
+        raster, alpha_f = self.rasterization_time(fwd)
+        t.rasterization = raster / it
+        t.alpha_check_fwd = alpha_f / it
+        rev, alpha_b = self.reverse_rasterization_time(bwd)
+        t.reverse_rasterization = rev / it
+        t.alpha_check_bwd = alpha_b / it
+        t.aggregation = self.aggregation_time(bwd) / it
+        t.reprojection = self.reprojection_time(bwd) / it
+        # 3 forward kernels + 2 backward kernels per iteration.
+        t.launch = 5 * self.spec.kernel_launch_s
+        t.overhead = self.spec.iteration_overhead_s
+        return t
+
+    # ---- energy ----
+
+    def iteration_energy(self, workload: Workload) -> float:
+        """Average per-iteration energy (joules) of a workload."""
+        it = max(workload.iterations, 1)
+        fwd, bwd = workload.fwd, workload.bwd
+        ledger = EnergyLedger(self.ops)
+
+        flops = fwd.num_projected * PROJ_FLOPS_PER_GAUSSIAN
+        flops += fwd.num_sort_keys * SORT_FLOPS_PER_KEY
+        if fwd.pipeline == "tile":
+            flops += fwd.num_tile_pairs * TILE_INSERT_FLOPS
+        flops += fwd.num_candidate_pairs * ALPHA_FLOPS
+        flops += fwd.num_contrib_pairs * INTEGRATE_FLOPS
+        flops += bwd.num_candidate_pairs * ALPHA_FLOPS
+        flops += bwd.num_contrib_pairs * BWD_PAIR_FLOPS
+        flops += bwd.num_projected * REPROJECT_FLOPS_PER_GAUSSIAN
+        ledger.add("flop", flops)
+        ledger.add("special", fwd.num_alpha_checks + bwd.num_alpha_checks)
+        ledger.add("atomic", bwd.num_atomic_adds * GRADS_PER_PAIR)
+
+        # DRAM traffic: Gaussian streams + gradients.
+        dram = fwd.num_projected * PARAM_BYTES
+        if fwd.pipeline == "tile":
+            dram += sum(t[2] for t in fwd.tile_work) * GAUSSIAN_BYTES
+            dram += sum(t[2] for t in bwd.tile_work) * GAUSSIAN_BYTES
+        else:
+            dram += sum(fwd.pixel_list_lengths) * GAUSSIAN_BYTES
+            dram += sum(bwd.pixel_list_lengths) * GAUSSIAN_BYTES
+        dram += (bwd.num_atomic_adds * GRADIENT_BYTES * 2
+                 * self.spec.atomic_dram_factor)
+        ledger.add("dram_byte", dram)
+
+        times = self.iteration_times(workload)
+        active_cycles = times.total * self.spec.clock_hz * it
+        ledger.add("background_per_cycle", active_cycles)
+        return ledger.total_joules() / it

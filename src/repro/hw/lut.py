@@ -1,0 +1,51 @@
+"""Lookup-table approximation of the exponential (projection unit, Sec. V-C).
+
+α-checking evaluates ``exp(-x)`` for ``x = d^2 / (2 sigma^2)``; on the GPU
+this runs on scarce SFUs.  SPLATONIC replaces it with a small LUT: the
+paper finds 64 entries sufficient to preserve task accuracy.  We implement
+a piecewise-linear LUT over ``x in [0, X_MAX]`` (beyond the truncation
+radius ``exp(-x)`` is below the α threshold anyway and clamps to 0), plus
+an error probe used by the LUT-size ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ExpLUT"]
+
+# 3.5-sigma truncation means x = d^2/(2 sigma^2) <= 3.5^2/2 = 6.125; round
+# up so the table covers every value alpha-checking can produce.
+DEFAULT_X_MAX = 6.5
+
+
+class ExpLUT:
+    """Piecewise-linear table for ``exp(-x)`` on ``[0, x_max]``."""
+
+    def __init__(self, entries: int = 64, x_max: float = DEFAULT_X_MAX):
+        if entries < 2:
+            raise ValueError("need at least 2 entries")
+        self.entries = entries
+        self.x_max = float(x_max)
+        self._xs = np.linspace(0.0, self.x_max, entries)
+        self._ys = np.exp(-self._xs)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the approximation; inputs beyond ``x_max`` clamp to 0."""
+        x = np.asarray(x, dtype=float)
+        out = np.interp(x, self._xs, self._ys, right=0.0)
+        return np.where(x > self.x_max, 0.0, out)
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint assuming 16-bit entries."""
+        return 2 * self.entries
+
+    def max_abs_error(self, samples: int = 100_000) -> float:
+        """Worst-case absolute error against the true exponential."""
+        xs = np.linspace(0.0, self.x_max, samples)
+        return float(np.max(np.abs(self(xs) - np.exp(-xs))))
+
+    def alpha_error(self, opacity: float = 1.0, samples: int = 100_000) -> float:
+        """Worst-case error it induces on α = opacity * exp(-x)."""
+        return opacity * self.max_abs_error(samples)

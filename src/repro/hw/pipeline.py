@@ -1,0 +1,64 @@
+"""Pipelined-accelerator composition helpers.
+
+SPLATONIC (and the baselines we model) are streaming pipelines: stages are
+double-buffered, so steady-state throughput is set by the slowest stage
+while the others overlap.  :func:`pipelined_cycles` captures exactly that:
+``max`` over stage busy-cycles plus a fill latency, versus the sequential
+``sum`` when a design cannot overlap stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["StageLoad", "CycleBreakdown", "pipelined_cycles",
+           "sequential_cycles"]
+
+
+@dataclass(frozen=True)
+class StageLoad:
+    """Busy-cycle count of one hardware stage for one pass."""
+
+    name: str
+    cycles: float
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("cycles must be non-negative")
+
+
+@dataclass
+class CycleBreakdown:
+    """Total cycles of a pass plus its per-stage composition."""
+
+    total: float
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the stage with the most busy cycles."""
+        if not self.stages:
+            return ""
+        return max(self.stages, key=self.stages.get)
+
+    def share(self, name: str) -> float:
+        """Fraction of summed stage work attributed to ``name``."""
+        denom = sum(self.stages.values())
+        if denom <= 0:
+            return 0.0
+        return self.stages.get(name, 0.0) / denom
+
+
+def pipelined_cycles(stages: List[StageLoad],
+                     fill_latency: float = 0.0) -> CycleBreakdown:
+    """Steady-state latency of fully overlapped (double-buffered) stages."""
+    table = {s.name: s.cycles for s in stages}
+    total = (max(table.values()) if table else 0.0) + fill_latency
+    return CycleBreakdown(total=total, stages=table)
+
+
+def sequential_cycles(stages: List[StageLoad]) -> CycleBreakdown:
+    """Latency when stages execute back-to-back with no overlap."""
+    table = {s.name: s.cycles for s in stages}
+    return CycleBreakdown(total=sum(table.values()), stages=table)

@@ -1,0 +1,75 @@
+"""Technology-node scaling in the style of DeepScaleTool.
+
+The paper implements SPLATONIC in TSMC 16 nm and scales results to 8 nm
+(to match the Orin SoC) with DeepScaleTool [66], [69], which fits scaling
+factors for area, delay, and energy from published CMOS data (Stillmaker &
+Baas).  We embed a factor table with the same shape: per-node relative
+area / delay / energy of a logic gate, normalized to 16 nm.  Values follow
+the published general-purpose scaling curves; like the original tool, they
+are estimates — every consumer in this repo treats them as relative
+factors, never absolute silicon truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NodeFactors", "NODES", "scale_area", "scale_energy",
+           "scale_delay", "scale_all"]
+
+
+@dataclass(frozen=True)
+class NodeFactors:
+    """Relative factors of a technology node, normalized to 16 nm = 1.0."""
+
+    node_nm: float
+    area: float
+    delay: float
+    energy: float
+
+
+# Normalized to 16 nm.  Area tracks ~(node/16)^2 with a density saturation
+# below 10 nm; delay and energy follow the Stillmaker-Baas style curves
+# (energy improves roughly linearly with node at iso-frequency).
+NODES = {
+    28: NodeFactors(28, area=2.72, delay=1.45, energy=2.05),
+    16: NodeFactors(16, area=1.00, delay=1.00, energy=1.00),
+    12: NodeFactors(12, area=0.69, delay=0.91, energy=0.79),
+    10: NodeFactors(10, area=0.52, delay=0.84, energy=0.66),
+    8: NodeFactors(8, area=0.41, delay=0.77, energy=0.55),
+    7: NodeFactors(7, area=0.36, delay=0.74, energy=0.51),
+}
+
+
+def _factors(node_nm: int) -> NodeFactors:
+    try:
+        return NODES[node_nm]
+    except KeyError:
+        raise KeyError(
+            f"no scaling data for {node_nm} nm; known nodes: {sorted(NODES)}"
+        ) from None
+
+
+def scale_area(value: float, from_nm: int, to_nm: int) -> float:
+    """Scale an area from one node to another."""
+    return value * _factors(to_nm).area / _factors(from_nm).area
+
+
+def scale_delay(value: float, from_nm: int, to_nm: int) -> float:
+    """Scale a gate delay (or its inverse, a clock period) between nodes."""
+    return value * _factors(to_nm).delay / _factors(from_nm).delay
+
+
+def scale_energy(value: float, from_nm: int, to_nm: int) -> float:
+    """Scale a per-op energy between nodes."""
+    return value * _factors(to_nm).energy / _factors(from_nm).energy
+
+
+def scale_all(area: float, delay: float, energy: float,
+              from_nm: int, to_nm: int):
+    """Scale an (area, delay, energy) triple between nodes."""
+    return (
+        scale_area(area, from_nm, to_nm),
+        scale_delay(delay, from_nm, to_nm),
+        scale_energy(energy, from_nm, to_nm),
+    )

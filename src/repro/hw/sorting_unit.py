@@ -1,0 +1,74 @@
+"""Cycle model of the hierarchical sorting units (Fig. 15, GSCore-style).
+
+Each sorting unit ingests a pixel's candidate list as a key stream and
+sorts it hierarchically: an insertion-sorter front-end orders chunks of
+``chunk_size`` keys at ``ingest_width`` keys per cycle, and an ``m``-way
+merge back-end combines the sorted chunks in streaming passes.  Cycles per
+list of length ``n``::
+
+    ceil(n / width) * (1 + max(0, ceil(log_m(ceil(n / chunk)))))
+
+The pixel-based pipeline's lists are short (tens of keys), so most lists
+finish in the insertion front-end alone — the structural reason the
+paper's sorters are tiny compared to a global radix sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["SortingUnitConfig", "HierarchicalSorter"]
+
+
+@dataclass(frozen=True)
+class SortingUnitConfig:
+    """Microarchitecture of one sorting unit."""
+
+    ingest_width: int = 4      # keys accepted per cycle
+    chunk_size: int = 64       # insertion-sorter capacity
+    merge_ways: int = 4        # streaming merge radix
+
+    def __post_init__(self) -> None:
+        if self.ingest_width < 1 or self.chunk_size < 2 or self.merge_ways < 2:
+            raise ValueError("degenerate sorting-unit configuration")
+
+
+class HierarchicalSorter:
+    """Latency model for a pool of hierarchical sorting units."""
+
+    def __init__(self, config: SortingUnitConfig = SortingUnitConfig(),
+                 units: int = 4):
+        if units < 1:
+            raise ValueError("need at least one sorting unit")
+        self.config = config
+        self.units = units
+
+    def list_cycles(self, n: int) -> float:
+        """Cycles for one unit to sort a single list of ``n`` keys."""
+        if n <= 0:
+            return 0.0
+        cfg = self.config
+        stream = -(-n // cfg.ingest_width)
+        chunks = -(-n // cfg.chunk_size)
+        if chunks <= 1:
+            return float(stream)
+        passes = int(np.ceil(np.log(chunks) / np.log(cfg.merge_ways)))
+        return float(stream * (1 + passes))
+
+    def total_cycles(self, list_lengths: Iterable[int]) -> float:
+        """Pool latency: lists are distributed across units greedily.
+
+        With many independent per-pixel lists the pool behaves like a
+        queueing system; we model it as ideal work sharing (total work
+        divided by unit count) plus the longest single list, which cannot
+        be split.
+        """
+        lengths = [int(n) for n in list_lengths if n > 0]
+        if not lengths:
+            return 0.0
+        work = sum(self.list_cycles(n) for n in lengths)
+        critical = max(self.list_cycles(n) for n in lengths)
+        return max(work / self.units, critical)

@@ -1,0 +1,187 @@
+"""Serialization utilities: clouds, images, and trajectories.
+
+Everything writes dependency-free formats: Gaussian clouds as ``.npz``,
+images as binary PPM/PGM (viewable everywhere), and trajectories in the
+TUM RGB-D format (``timestamp tx ty tz qx qy qz qw`` per line) so external
+SLAM tooling — evo, the TUM benchmark scripts — can consume the output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .gaussians.model import GaussianCloud
+from .gaussians.se3 import quat_to_rotmat, rotmat_to_quat
+from .render.anisotropic import AnisotropicCloud
+
+__all__ = [
+    "save_cloud",
+    "load_cloud",
+    "save_ppm",
+    "save_pgm",
+    "save_trajectory_tum",
+    "load_trajectory_tum",
+    "save_sequence",
+    "load_sequence",
+]
+
+
+def save_cloud(path: str, cloud) -> None:
+    """Save an isotropic or anisotropic cloud to ``.npz``."""
+    if isinstance(cloud, GaussianCloud):
+        np.savez(path, kind="isotropic", means=cloud.means,
+                 log_scales=cloud.log_scales,
+                 logit_opacities=cloud.logit_opacities, colors=cloud.colors)
+    elif isinstance(cloud, AnisotropicCloud):
+        np.savez(path, kind="anisotropic", means=cloud.means,
+                 log_scales=cloud.log_scales,
+                 quaternions=cloud.quaternions,
+                 logit_opacities=cloud.logit_opacities, colors=cloud.colors)
+    else:
+        raise TypeError(f"cannot serialize {type(cloud).__name__}")
+
+
+def load_cloud(path: str):
+    """Load a cloud saved by :func:`save_cloud`."""
+    data = np.load(path if str(path).endswith(".npz") else f"{path}.npz",
+                   allow_pickle=False)
+    kind = str(data["kind"])
+    if kind == "isotropic":
+        return GaussianCloud(
+            means=data["means"], log_scales=data["log_scales"],
+            logit_opacities=data["logit_opacities"], colors=data["colors"])
+    if kind == "anisotropic":
+        return AnisotropicCloud(
+            means=data["means"], log_scales=data["log_scales"],
+            quaternions=data["quaternions"],
+            logit_opacities=data["logit_opacities"], colors=data["colors"])
+    raise ValueError(f"unknown cloud kind {kind!r}")
+
+
+def save_ppm(path: str, image: np.ndarray) -> None:
+    """Write an ``(H, W, 3)`` float image in [0, 1] as binary PPM (P6)."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 3 or image.shape[-1] != 3:
+        raise ValueError("expected an (H, W, 3) image")
+    data = (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    h, w = data.shape[:2]
+    with open(path, "wb") as f:
+        f.write(f"P6\n{w} {h}\n255\n".encode())
+        f.write(data.tobytes())
+
+
+def save_pgm(path: str, image: np.ndarray,
+             max_value: Optional[float] = None) -> None:
+    """Write an ``(H, W)`` float map (e.g. depth) as binary PGM (P5).
+
+    Values are normalized by ``max_value`` (defaults to the map maximum).
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError("expected an (H, W) map")
+    top = float(max_value) if max_value else max(float(image.max()), 1e-12)
+    data = (np.clip(image / top, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    h, w = image.shape
+    with open(path, "wb") as f:
+        f.write(f"P5\n{w} {h}\n255\n".encode())
+        f.write(data.tobytes())
+
+
+def save_trajectory_tum(path: str, poses: Union[np.ndarray, Sequence],
+                        timestamps: Optional[Sequence[float]] = None) -> None:
+    """Write camera-to-world poses in the TUM trajectory format."""
+    poses = np.asarray(poses, dtype=float)
+    if poses.ndim != 3 or poses.shape[1:] != (4, 4):
+        raise ValueError("expected (N, 4, 4) poses")
+    n = poses.shape[0]
+    ts = np.arange(n, dtype=float) if timestamps is None else np.asarray(
+        timestamps, dtype=float)
+    if ts.shape != (n,):
+        raise ValueError("timestamps must match the pose count")
+    with open(path, "w") as f:
+        f.write("# timestamp tx ty tz qx qy qz qw\n")
+        for t, T in zip(ts, poses):
+            q = rotmat_to_quat(T[:3, :3])  # (w, x, y, z)
+            tx, ty, tz = T[:3, 3]
+            f.write(f"{t:.6f} {tx:.9f} {ty:.9f} {tz:.9f} "
+                    f"{q[1]:.9f} {q[2]:.9f} {q[3]:.9f} {q[0]:.9f}\n")
+
+
+def load_trajectory_tum(path: str):
+    """Read a TUM-format trajectory; returns ``(timestamps, poses)``."""
+    timestamps: List[float] = []
+    poses: List[np.ndarray] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = [float(p) for p in line.split()]
+            if len(parts) != 8:
+                raise ValueError(f"malformed TUM line: {line!r}")
+            t, tx, ty, tz, qx, qy, qz, qw = parts
+            T = np.eye(4)
+            T[:3, :3] = quat_to_rotmat(np.array([qw, qx, qy, qz]))
+            T[:3, 3] = [tx, ty, tz]
+            timestamps.append(t)
+            poses.append(T)
+    return np.asarray(timestamps), np.stack(poses) if poses else np.zeros(
+        (0, 4, 4))
+
+
+def save_sequence(path: str, sequence) -> None:
+    """Save an RGB-D sequence (frames + intrinsics) to one ``.npz``.
+
+    The ground-truth cloud, if present, is stored alongside so that
+    regenerating procedural sequences can be skipped entirely.
+    """
+    colors = np.stack([f.color for f in sequence.frames])
+    depths = np.stack([f.depth for f in sequence.frames])
+    poses = sequence.gt_trajectory
+    timestamps = np.array([f.timestamp for f in sequence.frames])
+    intr = sequence.intrinsics
+    payload = dict(
+        name=sequence.name,
+        colors=colors.astype(np.float32),
+        depths=depths.astype(np.float32),
+        poses=poses,
+        timestamps=timestamps,
+        intrinsics=np.array([intr.width, intr.height, intr.fx, intr.fy,
+                             intr.cx, intr.cy]),
+    )
+    cloud = getattr(sequence, "gt_cloud", None)
+    if cloud is not None:
+        payload.update(
+            gt_means=cloud.means, gt_log_scales=cloud.log_scales,
+            gt_logit_opacities=cloud.logit_opacities, gt_colors=cloud.colors)
+    np.savez_compressed(path, **payload)
+
+
+def load_sequence(path: str):
+    """Load a sequence saved by :func:`save_sequence`."""
+    from .datasets.rgbd import RGBDFrame, RGBDSequence
+    from .gaussians.camera import Intrinsics
+
+    data = np.load(path if str(path).endswith(".npz") else f"{path}.npz",
+                   allow_pickle=False)
+    w, h, fx, fy, cx, cy = data["intrinsics"]
+    intr = Intrinsics(width=int(w), height=int(h), fx=float(fx),
+                      fy=float(fy), cx=float(cx), cy=float(cy))
+    frames = [
+        RGBDFrame(color=np.asarray(c, dtype=float),
+                  depth=np.asarray(d, dtype=float),
+                  gt_pose_c2w=np.asarray(p, dtype=float),
+                  timestamp=float(t))
+        for c, d, p, t in zip(data["colors"], data["depths"],
+                              data["poses"], data["timestamps"])
+    ]
+    cloud = None
+    if "gt_means" in data:
+        cloud = GaussianCloud(
+            means=data["gt_means"], log_scales=data["gt_log_scales"],
+            logit_opacities=data["gt_logit_opacities"],
+            colors=data["gt_colors"])
+    return RGBDSequence(name=str(data["name"]), intrinsics=intr,
+                        frames=frames, gt_cloud=cloud)

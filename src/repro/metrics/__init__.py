@@ -1,0 +1,8 @@
+"""Accuracy metrics: trajectory error and reconstruction quality."""
+
+from .ate import AteResult, ate_rmse, umeyama_alignment
+from .quality import depth_l1, psnr, ssim
+from .rpe import RpeResult, rpe
+
+__all__ = ["AteResult", "ate_rmse", "umeyama_alignment",
+           "psnr", "ssim", "depth_l1", "RpeResult", "rpe"]

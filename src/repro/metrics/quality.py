@@ -1,0 +1,75 @@
+"""Image-quality metrics: PSNR, SSIM, and depth L1."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["psnr", "ssim", "depth_l1"]
+
+
+def psnr(rendered: np.ndarray, reference: np.ndarray,
+         data_range: float = 1.0, mask: np.ndarray = None) -> float:
+    """Peak signal-to-noise ratio in dB over optionally masked pixels."""
+    rendered = np.asarray(rendered, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if rendered.shape != reference.shape:
+        raise ValueError("images must have the same shape")
+    diff = (rendered - reference) ** 2
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim == diff.ndim - 1:
+            mask = mask[..., None]
+        diff = diff[np.broadcast_to(mask, diff.shape)]
+        if diff.size == 0:
+            return float("inf")
+    mse = float(np.mean(diff))
+    if mse <= 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range * data_range / mse))
+
+
+def ssim(rendered: np.ndarray, reference: np.ndarray,
+         data_range: float = 1.0, sigma: float = 1.5) -> float:
+    """Mean structural similarity with a Gaussian window.
+
+    Multi-channel images are averaged over channels, matching the common
+    scikit-image behaviour the SLAM papers report.
+    """
+    a = np.asarray(rendered, dtype=float)
+    b = np.asarray(reference, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("images must have the same shape")
+    if a.ndim == 3:
+        return float(np.mean([
+            ssim(a[..., c], b[..., c], data_range, sigma)
+            for c in range(a.shape[-1])
+        ]))
+
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+
+    def blur(img):
+        return ndimage.gaussian_filter(img, sigma, mode="nearest")
+
+    mu_a = blur(a)
+    mu_b = blur(b)
+    var_a = blur(a * a) - mu_a * mu_a
+    var_b = blur(b * b) - mu_b * mu_b
+    cov = blur(a * b) - mu_a * mu_b
+    num = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+    den = (mu_a ** 2 + mu_b ** 2 + c1) * (var_a + var_b + c2)
+    return float(np.mean(num / den))
+
+
+def depth_l1(rendered: np.ndarray, reference: np.ndarray,
+             mask: np.ndarray = None) -> float:
+    """Mean absolute depth error over valid (reference > 0) pixels."""
+    rendered = np.asarray(rendered, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    valid = reference > 0
+    if mask is not None:
+        valid &= np.asarray(mask, dtype=bool)
+    if not np.any(valid):
+        return 0.0
+    return float(np.mean(np.abs(rendered[valid] - reference[valid])))

@@ -1,0 +1,65 @@
+"""Relative pose error (RPE), the drift metric of the TUM benchmark.
+
+Where ATE measures global consistency after alignment, RPE measures local
+drift: for every pair of poses ``delta`` frames apart, compare the
+estimated relative motion against the ground-truth relative motion and
+report translational / rotational error statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gaussians.se3 import se3_inverse, so3_log
+
+__all__ = ["RpeResult", "rpe"]
+
+
+@dataclass(frozen=True)
+class RpeResult:
+    """RPE summary: translation in metres, rotation in radians."""
+
+    trans_rmse: float
+    trans_mean: float
+    rot_rmse: float
+    rot_mean: float
+    delta: int
+    num_pairs: int
+
+
+def rpe(estimated: np.ndarray, ground_truth: np.ndarray,
+        delta: int = 1) -> RpeResult:
+    """Relative pose error over all pose pairs ``delta`` frames apart.
+
+    Both trajectories are ``(N, 4, 4)`` camera-to-world pose arrays.
+    """
+    est = np.asarray(estimated, dtype=float)
+    gt = np.asarray(ground_truth, dtype=float)
+    if est.shape != gt.shape or est.ndim != 3 or est.shape[1:] != (4, 4):
+        raise ValueError("expected matching (N, 4, 4) pose arrays")
+    if delta < 1:
+        raise ValueError("delta must be >= 1")
+    n = est.shape[0]
+    if n <= delta:
+        raise ValueError("need more poses than delta")
+
+    trans_errs = []
+    rot_errs = []
+    for i in range(n - delta):
+        rel_est = se3_inverse(est[i]) @ est[i + delta]
+        rel_gt = se3_inverse(gt[i]) @ gt[i + delta]
+        err = se3_inverse(rel_gt) @ rel_est
+        trans_errs.append(np.linalg.norm(err[:3, 3]))
+        rot_errs.append(np.linalg.norm(so3_log(err[:3, :3])))
+    trans = np.asarray(trans_errs)
+    rot = np.asarray(rot_errs)
+    return RpeResult(
+        trans_rmse=float(np.sqrt(np.mean(trans ** 2))),
+        trans_mean=float(trans.mean()),
+        rot_rmse=float(np.sqrt(np.mean(rot ** 2))),
+        rot_mean=float(rot.mean()),
+        delta=delta,
+        num_pairs=len(trans_errs),
+    )

@@ -1,0 +1,69 @@
+"""Differentiable 3DGS renderer: the conventional tile-based pipeline.
+
+Forward (Fig. 3): projection -> tile intersection -> depth sort ->
+per-pixel rasterization.  Backward: reverse rasterization -> aggregation ->
+re-projection.  The sparse pixel-based pipeline that is the paper's
+contribution lives in :mod:`repro.core`.
+"""
+
+from .anisotropic import (
+    AnisoGradients,
+    AnisoSparseResult,
+    AnisotropicCloud,
+    ProjectedAnisotropic,
+    backward_sparse_anisotropic,
+    project_anisotropic,
+    render_sparse_anisotropic,
+)
+from .backward import (
+    ProjectedGradients,
+    RenderGradients,
+    backward_full,
+    reproject_gradients,
+)
+from .compositing import (
+    ALPHA_MAX,
+    ALPHA_THRESHOLD,
+    T_MIN,
+    CompositeCache,
+    PairGradients,
+    composite_backward,
+    composite_forward,
+)
+from .projection import RADIUS_SIGMA, ProjectedGaussians, project_gaussians
+from .rasterize import RenderResult, render_full
+from .sorting import sort_by_depth, sort_intersection_table
+from .stats import PipelineStats
+from .tiles import IntersectionTable, TileGrid, build_intersection_table
+
+__all__ = [
+    "AnisotropicCloud",
+    "ProjectedAnisotropic",
+    "AnisoSparseResult",
+    "AnisoGradients",
+    "project_anisotropic",
+    "render_sparse_anisotropic",
+    "backward_sparse_anisotropic",
+    "ALPHA_MAX",
+    "ALPHA_THRESHOLD",
+    "T_MIN",
+    "RADIUS_SIGMA",
+    "CompositeCache",
+    "PairGradients",
+    "composite_forward",
+    "composite_backward",
+    "ProjectedGaussians",
+    "project_gaussians",
+    "RenderResult",
+    "render_full",
+    "RenderGradients",
+    "ProjectedGradients",
+    "backward_full",
+    "reproject_gradients",
+    "sort_by_depth",
+    "sort_intersection_table",
+    "PipelineStats",
+    "TileGrid",
+    "IntersectionTable",
+    "build_intersection_table",
+]

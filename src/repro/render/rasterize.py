@@ -1,0 +1,167 @@
+"""Tile-based forward rendering (the conventional 3DGS pipeline of Fig. 3).
+
+``render_full`` runs projection -> tile intersection -> per-tile depth sort
+-> per-pixel rasterization, producing color / depth / silhouette maps and
+the workload counters the hardware models consume.  The per-tile composite
+caches are retained so :mod:`repro.render.backward` can run the exact
+reverse pass without recomputation.
+
+Passing a sparse ``pixels`` subset reproduces the **Org.+S** baseline of
+the paper: sparse pixel sampling bolted onto the tile pipeline.  Only the
+sampled pixels are rasterized, but the pipeline still pays tile-level
+projection, per-tile sorting (restricted, generously, to tiles containing
+at least one sample), and per-tile list iteration — the structural
+inefficiency Figs. 11/21 quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..gaussians.camera import Camera
+from ..gaussians.model import GaussianCloud
+from .compositing import ALPHA_THRESHOLD, T_MIN, CompositeCache, composite_forward
+from .projection import ProjectedGaussians, project_gaussians
+from .sorting import sort_intersection_table
+from .stats import PipelineStats
+from .tiles import TileGrid, build_intersection_table
+
+__all__ = ["RenderResult", "render_full"]
+
+DEFAULT_BACKGROUND = np.zeros(3)
+
+
+@dataclass
+class RenderResult:
+    """Output of a tile-based forward pass (full frame or Org.+S subset)."""
+
+    color: np.ndarray        # (H, W, 3)
+    depth: np.ndarray        # (H, W)
+    silhouette: np.ndarray   # (H, W)
+    proj: ProjectedGaussians
+    grid: TileGrid
+    sorted_lists: List[np.ndarray]      # per-tile projected-Gaussian indices
+    caches: List[Optional[CompositeCache]]
+    tile_pixels: List[np.ndarray]       # per-tile (P, 2) rendered pixels
+    stats: PipelineStats = field(default_factory=PipelineStats)
+
+    @property
+    def final_transmittance(self) -> np.ndarray:
+        """``Gamma_final`` per pixel — the mapper's unseen-pixel signal (Eqn. 2)."""
+        return 1.0 - self.silhouette
+
+
+def render_full(
+    cloud: GaussianCloud,
+    camera: Camera,
+    background: Optional[np.ndarray] = None,
+    tile_size: int = 16,
+    alpha_threshold: float = ALPHA_THRESHOLD,
+    t_min: float = T_MIN,
+    keep_cache: bool = True,
+    pixels: Optional[np.ndarray] = None,
+) -> RenderResult:
+    """Render with the tile pipeline.
+
+    Parameters
+    ----------
+    pixels:
+        Optional ``(K, 2)`` integer pixel subset (Org.+S mode).  ``None``
+        renders the full frame.
+    keep_cache:
+        Set ``False`` for inference-only renders to skip retaining the
+        backward-pass caches.
+    """
+    intr = camera.intrinsics
+    bg = DEFAULT_BACKGROUND if background is None else np.asarray(background, float)
+
+    proj = project_gaussians(cloud, camera)
+    grid = TileGrid.for_intrinsics(intr, tile_size)
+    table = build_intersection_table(proj, grid)
+    sorted_lists = sort_intersection_table(table, proj)
+
+    sample_mask = None
+    if pixels is not None:
+        pixels = np.atleast_2d(np.asarray(pixels, dtype=int))
+        sample_mask = np.zeros((intr.height, intr.width), dtype=bool)
+        sample_mask[pixels[:, 1], pixels[:, 0]] = True
+
+    color = np.tile(bg, (intr.height, intr.width, 1))
+    depth = np.zeros((intr.height, intr.width))
+    silhouette = np.zeros((intr.height, intr.width))
+
+    stats = PipelineStats(
+        pipeline="tile",
+        tile_size=tile_size,
+        image_width=intr.width,
+        image_height=intr.height,
+        num_gaussians=len(cloud),
+        num_projected=len(proj),
+        num_pixels=(intr.width * intr.height if pixels is None
+                    else pixels.shape[0]),
+        num_tile_pairs=table.num_pairs,
+    )
+
+    caches: List[Optional[CompositeCache]] = []
+    tile_pixels: List[np.ndarray] = []
+    for tile in range(grid.num_tiles):
+        idx = sorted_lists[tile]
+        px = grid.tile_pixels(tile)
+        if sample_mask is not None:
+            px = px[sample_mask[px[:, 1], px[:, 0]]]
+        tile_pixels.append(px)
+        if px.shape[0] == 0:
+            caches.append(None)
+            continue
+        # Sorting is charged only for tiles that render at least one pixel
+        # (a generous accounting for the Org.+S baseline).
+        stats.num_sort_keys += idx.size
+        if idx.size == 0:
+            caches.append(None)
+            stats.per_pixel_contribs.extend([0] * px.shape[0])
+            continue
+        centres = px + 0.5
+        out_color, out_depth, out_sil, cache = composite_forward(
+            centres,
+            proj.mean2d[idx],
+            proj.sigma2d[idx],
+            proj.depth[idx],
+            proj.opacity[idx],
+            proj.color[idx],
+            bg,
+            alpha_threshold=alpha_threshold,
+            t_min=t_min,
+        )
+        u, v = px[:, 0], px[:, 1]
+        color[v, u] = out_color
+        depth[v, u] = out_depth
+        silhouette[v, u] = out_sil
+
+        n_px, n_g = px.shape[0], idx.size
+        stats.num_candidate_pairs += n_px * n_g
+        stats.num_alpha_checks += n_px * n_g
+        # Serial iteration depth of this tile's thread block: each pixel's
+        # thread walks the sorted list until early termination, and the
+        # block runs as long as its slowest pixel (gamma is the exclusive
+        # transmittance, so position j was examined iff gamma[j] >= t_min).
+        serial_len = int((cache.gamma >= t_min).sum(axis=1).max())
+        stats.tile_work.append((n_g, n_px, serial_len))
+        contribs = cache.contrib.sum(axis=1)
+        stats.num_contrib_pairs += int(contribs.sum())
+        stats.per_pixel_contribs.extend(int(c) for c in contribs)
+        caches.append(cache if keep_cache else None)
+
+    return RenderResult(
+        color=color,
+        depth=depth,
+        silhouette=silhouette,
+        proj=proj,
+        grid=grid,
+        sorted_lists=sorted_lists,
+        caches=caches,
+        tile_pixels=tile_pixels,
+        stats=stats,
+    )

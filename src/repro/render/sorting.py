@@ -1,0 +1,39 @@
+"""Depth sorting stage (Fig. 3): order each list front-to-back.
+
+Correct alpha compositing (Eqn. 1) integrates Gaussians from the closest to
+the farthest, so both pipelines sort their candidate lists by camera-frame
+depth.  The sort is stable so that co-planar splats keep a deterministic
+order across pipelines — this is what lets the property tests assert
+pixel-exact agreement between the tile-based and pixel-based renderers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .projection import ProjectedGaussians
+from .tiles import IntersectionTable
+
+__all__ = ["sort_by_depth", "sort_intersection_table"]
+
+
+def sort_by_depth(indices: np.ndarray, depth: np.ndarray) -> np.ndarray:
+    """Return ``indices`` reordered front-to-back by ``depth[indices]``."""
+    indices = np.asarray(indices, dtype=int)
+    if indices.size == 0:
+        return indices
+    order = np.argsort(depth[indices], kind="stable")
+    return indices[order]
+
+
+def sort_intersection_table(
+    table: IntersectionTable, proj: ProjectedGaussians
+) -> List[np.ndarray]:
+    """Sort every tile's Gaussian list front-to-back.
+
+    Returns the tile-Gaussian *sorted* list of Fig. 3, parallel to
+    ``table.per_tile``.
+    """
+    return [sort_by_depth(t, proj.depth) for t in table.per_tile]

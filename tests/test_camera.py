@@ -1,0 +1,111 @@
+"""Camera model: intrinsics validation, projection round trips, posing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians import Camera, Intrinsics, se3_exp
+
+
+def make_intr(width=64, height=48):
+    return Intrinsics.from_fov(width, height, 70.0)
+
+
+class TestIntrinsics:
+    def test_from_fov_centre(self):
+        intr = make_intr()
+        assert intr.cx == 32.0 and intr.cy == 24.0
+
+    def test_from_fov_focal(self):
+        intr = Intrinsics.from_fov(100, 80, 90.0)
+        assert np.isclose(intr.fx, 50.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(width=0, height=10, fx=1, fy=1, cx=0, cy=0),
+        dict(width=10, height=-1, fx=1, fy=1, cx=0, cy=0),
+        dict(width=10, height=10, fx=0, fy=1, cx=0, cy=0),
+        dict(width=10, height=10, fx=1, fy=-2, cx=0, cy=0),
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            Intrinsics(**kwargs)
+
+    def test_matrix(self):
+        intr = make_intr()
+        K = intr.matrix
+        assert K[0, 0] == intr.fx and K[1, 1] == intr.fy
+        assert K[0, 2] == intr.cx and K[1, 2] == intr.cy
+        assert K[2, 2] == 1.0
+
+    def test_project_centre_ray(self):
+        intr = make_intr()
+        uv = intr.project(np.array([[0.0, 0.0, 2.0]]))
+        assert np.allclose(uv, [[intr.cx, intr.cy]])
+
+    @given(st.floats(0.2, 10.0), st.floats(-1.0, 1.0), st.floats(-1.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_backproject_inverts_project(self, z, x, y):
+        intr = make_intr()
+        p = np.array([[x, y, z]])
+        uv = intr.project(p)
+        back = intr.backproject(uv, np.array([z]))
+        assert np.allclose(back, p, atol=1e-9)
+
+    def test_scaled_halves_everything(self):
+        intr = make_intr()
+        half = intr.scaled(0.5)
+        assert half.width == 32 and half.height == 24
+        assert np.isclose(half.fx, intr.fx / 2)
+
+    def test_scaled_preserves_rays(self):
+        """The same 3D point projects to proportionally scaled pixels."""
+        intr = make_intr()
+        half = intr.scaled(0.5)
+        p = np.array([[0.3, -0.2, 2.5]])
+        assert np.allclose(half.project(p), intr.project(p) * 0.5)
+
+    def test_pixel_grid(self):
+        intr = Intrinsics.from_fov(4, 3, 70.0)
+        grid = intr.pixel_grid()
+        assert grid.shape == (3, 4, 2)
+        assert np.allclose(grid[0, 0], [0.5, 0.5])
+        assert np.allclose(grid[2, 3], [3.5, 2.5])
+
+
+class TestCamera:
+    def test_identity_pose_is_passthrough(self):
+        cam = Camera(make_intr())
+        pts = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(cam.world_to_camera(pts), pts)
+
+    def test_world_to_camera_inverts_pose(self):
+        rng = np.random.default_rng(0)
+        pose = se3_exp(rng.normal(0, 0.4, 6))
+        cam = Camera(make_intr(), pose)
+        p_cam = rng.normal(size=(9, 3))
+        p_world = p_cam @ pose[:3, :3].T + pose[:3, 3]
+        assert np.allclose(cam.world_to_camera(p_world), p_cam)
+
+    def test_position(self):
+        pose = np.eye(4)
+        pose[:3, 3] = [1.0, -2.0, 0.5]
+        cam = Camera(make_intr(), pose)
+        assert np.allclose(cam.position, [1.0, -2.0, 0.5])
+
+    def test_with_pose_copies(self):
+        cam = Camera(make_intr())
+        pose = se3_exp(np.array([0.1, 0, 0, 0, 0, 0]))
+        cam2 = cam.with_pose(pose)
+        pose[0, 3] = 99.0
+        assert cam2.pose_c2w[0, 3] != 99.0
+        assert np.allclose(cam.pose_c2w, np.eye(4))
+
+    def test_rejects_bad_pose_shape(self):
+        with pytest.raises(ValueError):
+            Camera(make_intr(), np.eye(3))
+
+    def test_pose_w2c_is_inverse(self):
+        pose = se3_exp(np.array([0.3, -0.1, 0.2, 0.05, -0.02, 0.1]))
+        cam = Camera(make_intr(), pose)
+        assert np.allclose(cam.pose_w2c @ pose, np.eye(4), atol=1e-12)

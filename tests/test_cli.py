@@ -1,0 +1,88 @@
+"""CLI: argument parsing and end-to-end subcommand runs."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_slam_defaults(self):
+        args = build_parser().parse_args(["slam"])
+        assert args.algorithm == "splatam"
+        assert args.mode == "sparse"
+
+    def test_render_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "splatam" in out
+        assert "SPLATONIC-HW" in out
+
+    def test_figure_list(self, capsys):
+        assert main(["figure", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig22" in out and "area" in out
+
+    def test_figure_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_figure_area(self, capsys):
+        assert main(["figure", "area"]) == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_render_writes_files(self, tmp_path, capsys):
+        out = str(tmp_path / "v.ppm")
+        depth = str(tmp_path / "d.pgm")
+        code = main(["render", "--out", out, "--depth-out", depth,
+                     "--width", "32", "--height", "24"])
+        assert code == 0
+        assert open(out, "rb").read(2) == b"P6"
+        assert open(depth, "rb").read(2) == b"P5"
+
+    def test_render_saved_cloud(self, tmp_path):
+        from repro.gaussians import GaussianCloud
+        from repro.io import save_cloud
+        rng = np.random.default_rng(0)
+        cloud = GaussianCloud.create(
+            means=np.stack([rng.uniform(-1, 1, 20),
+                            rng.uniform(-1, 1, 20),
+                            rng.uniform(1, 4, 20)], axis=-1),
+            scales=rng.uniform(0.05, 0.2, 20),
+            opacities=rng.uniform(0.3, 0.9, 20),
+            colors=rng.uniform(0, 1, (20, 3)))
+        cloud_path = str(tmp_path / "c.npz")
+        save_cloud(cloud_path, cloud)
+        out = str(tmp_path / "v.ppm")
+        assert main(["render", "--cloud", cloud_path, "--out", out,
+                     "--width", "32", "--height", "24"]) == 0
+        assert os.path.exists(out)
+
+    @pytest.mark.slow
+    def test_slam_end_to_end(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "run")
+        code = main(["slam", "--frames", "5", "--width", "40",
+                     "--height", "30", "--tracking-tile", "8",
+                     "--out", out_dir])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "ATE" in printed and "PSNR" in printed
+        for name in ("trajectory_est.txt", "trajectory_gt.txt",
+                     "cloud.npz", "final_view.ppm"):
+            assert os.path.exists(os.path.join(out_dir, name)), name

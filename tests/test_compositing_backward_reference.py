@@ -1,0 +1,103 @@
+"""composite_backward against a brute-force finite-difference reference.
+
+The main gradcheck suites differentiate through the full pipeline; this
+one isolates the compositing core itself, so a regression localizes to
+the suffix-sum/transmittance algebra rather than projection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.render import composite_backward, composite_forward
+
+BG = np.array([0.3, 0.1, 0.2])
+
+
+def random_inputs(seed=0, n=12, p=3):
+    rng = np.random.default_rng(seed)
+    return dict(
+        pixels=rng.uniform(0, 6, (p, 2)),
+        mean2d=rng.uniform(0, 6, (n, 2)),
+        sigma2d=rng.uniform(0.5, 2.0, n),
+        depth=np.sort(rng.uniform(1, 4, n)),
+        opacity=rng.uniform(0.1, 0.9, n),
+        color=rng.uniform(0, 1, (n, 3)),
+    )
+
+
+def scalar_loss(inputs, wc, wd, ws):
+    color, depth, sil, _ = composite_forward(
+        inputs["pixels"], inputs["mean2d"], inputs["sigma2d"],
+        inputs["depth"], inputs["opacity"], inputs["color"], BG)
+    return float((color * wc).sum() + (depth * wd).sum() + (sil * ws).sum())
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_pair_gradients_match_finite_differences(seed):
+    inputs = random_inputs(seed)
+    rng = np.random.default_rng(100 + seed)
+    wc = rng.normal(size=(3, 3))
+    wd = rng.normal(size=3)
+    ws = rng.normal(size=3)
+
+    _, _, _, cache = composite_forward(
+        inputs["pixels"], inputs["mean2d"], inputs["sigma2d"],
+        inputs["depth"], inputs["opacity"], inputs["color"], BG)
+    pair = composite_backward(
+        cache, inputs["mean2d"], inputs["sigma2d"], inputs["depth"],
+        inputs["opacity"], inputs["color"], wc, wd, ws)
+
+    eps = 1e-6
+
+    def num_grad(field, index, component=None):
+        plus = {k: v.copy() for k, v in inputs.items()}
+        minus = {k: v.copy() for k, v in inputs.items()}
+        if component is None:
+            plus[field][index] += eps
+            minus[field][index] -= eps
+        else:
+            plus[field][index, component] += eps
+            minus[field][index, component] -= eps
+        return (scalar_loss(plus, wc, wd, ws)
+                - scalar_loss(minus, wc, wd, ws)) / (2 * eps)
+
+    for g in range(6):
+        assert np.isclose(num_grad("opacity", g), pair.d_opacity[g],
+                          rtol=1e-3, atol=1e-6)
+        assert np.isclose(num_grad("sigma2d", g), pair.d_sigma2d[g],
+                          rtol=1e-3, atol=1e-6)
+        for c in range(2):
+            assert np.isclose(num_grad("mean2d", g, c), pair.d_mean2d[g, c],
+                              rtol=1e-3, atol=1e-6)
+        for c in range(3):
+            assert np.isclose(num_grad("color", g, c), pair.d_color[g, c],
+                              rtol=1e-3, atol=1e-6)
+        assert np.isclose(num_grad("depth", g), pair.d_depth[g],
+                          rtol=1e-3, atol=1e-6)
+
+
+def test_gradients_vanish_for_noncontributing_pairs():
+    """A splat far beyond the pixel's alpha threshold gets zero gradient."""
+    inputs = random_inputs(5, n=4, p=1)
+    inputs["mean2d"][2] = [500.0, 500.0]  # far away
+    _, _, _, cache = composite_forward(
+        inputs["pixels"], inputs["mean2d"], inputs["sigma2d"],
+        inputs["depth"], inputs["opacity"], inputs["color"], BG)
+    pair = composite_backward(
+        cache, inputs["mean2d"], inputs["sigma2d"], inputs["depth"],
+        inputs["opacity"], inputs["color"],
+        np.ones((1, 3)), np.ones(1), np.ones(1))
+    assert pair.d_opacity[2] == 0.0
+    assert np.all(pair.d_mean2d[2] == 0.0)
+    assert np.all(pair.d_color[2] == 0.0)
+
+
+def test_empty_candidate_list():
+    _, _, _, cache = composite_forward(
+        np.array([[1.0, 1.0]]), np.zeros((0, 2)), np.zeros(0), np.zeros(0),
+        np.zeros(0), np.zeros((0, 3)), BG)
+    pair = composite_backward(cache, np.zeros((0, 2)), np.zeros(0),
+                              np.zeros(0), np.zeros(0), np.zeros((0, 3)),
+                              np.ones((1, 3)), np.ones(1), np.ones(1))
+    assert pair.num_pairs_touched == 0
+    assert pair.d_mean2d.shape == (0, 2)

@@ -1,0 +1,124 @@
+"""Property-based tests of the compositing core's physical invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render import composite_forward
+
+BG = np.zeros(3)
+
+
+def random_list(rng, n):
+    """A depth-sorted candidate list around the origin pixel."""
+    return dict(
+        mean2d=rng.uniform(-3, 3, (n, 2)),
+        sigma2d=rng.uniform(0.5, 2.0, n),
+        depth=np.sort(rng.uniform(1, 5, n)),
+        opacity=rng.uniform(0.05, 0.95, n),
+        color=rng.uniform(0, 1, (n, 3)),
+    )
+
+
+PIXEL = np.array([[0.0, 0.0]])
+
+
+@given(st.integers(0, 10_000), st.integers(1, 30))
+@settings(max_examples=40, deadline=None)
+def test_outputs_bounded(seed, n):
+    """Color and silhouette stay inside their physical ranges."""
+    rng = np.random.default_rng(seed)
+    color, depth, sil, _ = composite_forward(PIXEL, background=BG,
+                                             **random_list(rng, n))
+    assert np.all(color >= -1e-12) and np.all(color <= 1 + 1e-12)
+    assert 0 <= sil[0] <= 1 + 1e-12
+    assert depth[0] >= 0
+
+
+@given(st.integers(0, 10_000), st.integers(1, 20))
+@settings(max_examples=40, deadline=None)
+def test_transparent_gaussian_is_identity(seed, n):
+    """Appending a fully transparent Gaussian never changes the output."""
+    rng = np.random.default_rng(seed)
+    args = random_list(rng, n)
+    base_color, base_depth, base_sil, _ = composite_forward(
+        PIXEL, background=BG, **args)
+    extended = {
+        "mean2d": np.vstack([args["mean2d"], [[0.0, 0.0]]]),
+        "sigma2d": np.append(args["sigma2d"], 1.0),
+        "depth": np.append(args["depth"], 6.0),
+        "opacity": np.append(args["opacity"], 1e-9),
+        "color": np.vstack([args["color"], [[1.0, 1.0, 1.0]]]),
+    }
+    color, depth, sil, _ = composite_forward(PIXEL, background=BG,
+                                             **extended)
+    assert np.allclose(color, base_color, atol=1e-9)
+    assert np.allclose(depth, base_depth, atol=1e-9)
+    assert np.allclose(sil, base_sil, atol=1e-9)
+
+
+@given(st.integers(0, 10_000), st.integers(1, 20))
+@settings(max_examples=40, deadline=None)
+def test_gaussian_behind_opaque_wall_invisible(seed, n):
+    """A Gaussian placed behind an (almost) opaque front splat at the
+    same position contributes (almost) nothing."""
+    rng = np.random.default_rng(seed)
+    args = random_list(rng, n)
+    # Front wall: huge opaque splat right on the pixel at depth 0.5.
+    wall = {
+        "mean2d": np.vstack([[[0.0, 0.0]], args["mean2d"]]),
+        "sigma2d": np.append(50.0, args["sigma2d"]),
+        "depth": np.append(0.5, args["depth"]),
+        "opacity": np.append(0.999, args["opacity"]),  # clamped to a_max
+        "color": np.vstack([[[1.0, 0.0, 0.0]]], ).repeat(1, axis=0),
+    }
+    wall["color"] = np.vstack([[[1.0, 0.0, 0.0]], args["color"]])
+    color, _, sil, cache = composite_forward(PIXEL, background=BG, **wall)
+    # Transmittance behind the wall is <= 1 - ALPHA_MAX ~ 1e-3.
+    assert color[0, 1] < 2e-3 and color[0, 2] < 2e-3
+    assert sil[0] > 0.998
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_batch_rows_equal_individual_pixels(seed):
+    """Compositing a batch of pixels equals per-pixel composites."""
+    rng = np.random.default_rng(seed)
+    args = random_list(rng, 12)
+    pixels = rng.uniform(-2, 2, (5, 2))
+    batch_color, batch_depth, batch_sil, _ = composite_forward(
+        pixels, background=BG, **args)
+    for k in range(5):
+        c, d, s, _ = composite_forward(pixels[k:k + 1], background=BG,
+                                       **args)
+        assert np.allclose(c[0], batch_color[k], atol=1e-12)
+        assert np.allclose(d[0], batch_depth[k], atol=1e-12)
+        assert np.allclose(s[0], batch_sil[k], atol=1e-12)
+
+
+@given(st.integers(0, 10_000), st.integers(1, 15))
+@settings(max_examples=40, deadline=None)
+def test_raising_front_opacity_raises_silhouette(seed, n):
+    """Silhouette is monotone in the first Gaussian's opacity."""
+    rng = np.random.default_rng(seed)
+    args = random_list(rng, n)
+    args["mean2d"][0] = [0.0, 0.0]  # make the front Gaussian relevant
+    lo = dict(args)
+    hi = dict(args)
+    lo["opacity"] = args["opacity"].copy()
+    hi["opacity"] = args["opacity"].copy()
+    lo["opacity"][0] = 0.1
+    hi["opacity"][0] = 0.9
+    _, _, sil_lo, _ = composite_forward(PIXEL, background=BG, **lo)
+    _, _, sil_hi, _ = composite_forward(PIXEL, background=BG, **hi)
+    assert sil_hi[0] >= sil_lo[0] - 1e-9
+
+
+@given(st.integers(0, 10_000), st.integers(1, 15))
+@settings(max_examples=30, deadline=None)
+def test_depth_bounded_by_list_extent(seed, n):
+    """Expected depth lies within [0, max depth] of the list."""
+    rng = np.random.default_rng(seed)
+    args = random_list(rng, n)
+    _, depth, _, _ = composite_forward(PIXEL, background=BG, **args)
+    assert 0.0 <= depth[0] <= args["depth"].max() + 1e-9

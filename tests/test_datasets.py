@@ -1,0 +1,155 @@
+"""Synthetic datasets: scenes, trajectories, sequence rendering."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    REPLICA_SEQUENCES,
+    TUM_SEQUENCES,
+    SceneSpec,
+    look_at,
+    make_replica_sequence,
+    make_room_scene,
+    make_tum_sequence,
+    orbit_trajectory,
+    perturb_trajectory,
+    scan_trajectory,
+    trajectory_positions,
+)
+
+
+class TestScene:
+    def test_scene_size_scales_with_density(self):
+        small = make_room_scene(SceneSpec(surface_density=5.0))
+        big = make_room_scene(SceneSpec(surface_density=15.0))
+        assert len(big) > 2 * len(small)
+
+    def test_points_within_room(self):
+        spec = SceneSpec(extent=3.0, height=2.5)
+        cloud = make_room_scene(spec)
+        assert np.all(np.abs(cloud.means[:, 0]) <= spec.extent + 1e-6)
+        assert np.all(np.abs(cloud.means[:, 2]) <= spec.extent + 1e-6)
+        assert np.all(np.abs(cloud.means[:, 1]) <= spec.height / 2 + 1e-6)
+
+    def test_colors_valid(self):
+        cloud = make_room_scene(SceneSpec())
+        assert np.all((cloud.colors >= 0) & (cloud.colors <= 1))
+
+    def test_deterministic_by_seed(self):
+        a = make_room_scene(SceneSpec(seed=7))
+        b = make_room_scene(SceneSpec(seed=7))
+        assert np.allclose(a.means, b.means)
+
+    def test_different_seed_different_scene(self):
+        a = make_room_scene(SceneSpec(seed=1))
+        b = make_room_scene(SceneSpec(seed=2))
+        assert a.means.shape != b.means.shape or not np.allclose(
+            a.means, b.means)
+
+    def test_furniture_adds_gaussians(self):
+        none = make_room_scene(SceneSpec(furniture=0))
+        some = make_room_scene(SceneSpec(furniture=4))
+        assert len(some) > len(none)
+
+
+class TestTrajectories:
+    def test_look_at_forward_axis(self):
+        T = look_at(np.zeros(3), np.array([0, 0, 5.0]))
+        assert np.allclose(T[:3, 2], [0, 0, 1])
+
+    def test_look_at_is_rigid(self):
+        T = look_at(np.array([1.0, -0.5, 2.0]), np.array([0, 0, 0.0]))
+        R = T[:3, :3]
+        assert np.allclose(R @ R.T, np.eye(3), atol=1e-9)
+        assert np.isclose(np.linalg.det(R), 1.0)
+
+    def test_look_at_rejects_coincident(self):
+        with pytest.raises(ValueError):
+            look_at(np.zeros(3), np.zeros(3))
+
+    def test_orbit_length_and_radius(self):
+        poses = orbit_trajectory(10, radius=1.5)
+        assert len(poses) == 10
+        pos = trajectory_positions(poses)
+        assert np.allclose(np.linalg.norm(pos[:, [0, 2]], axis=1), 1.5)
+
+    def test_scan_endpoints(self):
+        start = np.array([0.0, 0, 0])
+        end = np.array([1.0, 0, 0])
+        poses = scan_trajectory(5, start, end, np.array([0, 0, 5.0]),
+                                bob=0.0)
+        pos = trajectory_positions(poses)
+        assert np.allclose(pos[0], start)
+        assert np.allclose(pos[-1], end)
+
+    def test_perturb_changes_poses(self):
+        poses = orbit_trajectory(5)
+        rng = np.random.default_rng(0)
+        noisy = perturb_trajectory(poses, rng, 0.02, 0.02)
+        deltas = [np.linalg.norm(a[:3, 3] - b[:3, 3])
+                  for a, b in zip(poses, noisy)]
+        assert max(deltas) > 0
+        assert max(deltas) < 0.2
+
+
+class TestSequences:
+    @pytest.fixture(scope="class")
+    def seq(self):
+        return make_replica_sequence("room0", n_frames=4, width=32,
+                                     height=24, surface_density=8)
+
+    def test_replica_names(self):
+        assert len(REPLICA_SEQUENCES) == 8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_replica_sequence("kitchen9")
+        with pytest.raises(KeyError):
+            make_tum_sequence("fr9_nope")
+
+    def test_frame_shapes(self, seq):
+        frame = seq[0]
+        assert frame.color.shape == (24, 32, 3)
+        assert frame.depth.shape == (24, 32)
+        assert frame.gt_pose_c2w.shape == (4, 4)
+
+    def test_color_range(self, seq):
+        for frame in seq:
+            assert frame.color.min() >= 0.0
+            assert frame.color.max() <= 1.0
+
+    def test_depth_mostly_positive(self, seq):
+        """Looking into a closed room, nearly every ray hits a surface."""
+        frame = seq[0]
+        assert (frame.depth > 0).mean() > 0.9
+
+    def test_gt_trajectory_matches_frames(self, seq):
+        traj = seq.gt_trajectory
+        assert traj.shape == (4, 4, 4)
+        assert np.allclose(traj[2], seq[2].gt_pose_c2w)
+
+    def test_deterministic(self):
+        a = make_replica_sequence("room1", n_frames=2, width=24, height=18,
+                                  surface_density=8)
+        b = make_replica_sequence("room1", n_frames=2, width=24, height=18,
+                                  surface_density=8)
+        assert np.allclose(a[0].color, b[0].color)
+
+    def test_interframe_motion_is_small(self, seq):
+        """Per-frame motion must stay within the tracker's basin."""
+        from repro.gaussians import se3_inverse, se3_log
+        for a, b in zip(seq.gt_trajectory[:-1], seq.gt_trajectory[1:]):
+            xi = se3_log(se3_inverse(a) @ b)
+            assert np.linalg.norm(xi) < 0.3
+
+    def test_tum_has_noise(self):
+        clean = make_replica_sequence("room0", n_frames=2, width=24,
+                                      height=18, surface_density=8)
+        noisy = make_tum_sequence("fr1_desk", n_frames=2, width=24,
+                                  height=18, surface_density=8)
+        # TUM-like depth has multiplicative noise: neighbouring depths of a
+        # flat wall vary more than in the clean sequence.
+        assert np.std(np.diff(noisy[0].depth, axis=1)) > 0
+
+    def test_tum_names(self):
+        assert len(TUM_SEQUENCES) == 3

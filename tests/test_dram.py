@@ -1,0 +1,79 @@
+"""DRAM bank/row-buffer model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.dram import DramConfig, DramModel, DramStats
+
+
+class TestAddressMapping:
+    def test_same_row_same_bank(self):
+        cfg = DramConfig(banks=8, row_bytes=2048)
+        assert cfg.locate(0) == cfg.locate(2047)
+
+    def test_adjacent_rows_different_banks(self):
+        cfg = DramConfig(banks=8, row_bytes=2048)
+        b0, _ = cfg.locate(0)
+        b1, _ = cfg.locate(2048)
+        assert b0 != b1
+
+
+class TestReplay:
+    def test_sequential_stream_mostly_hits(self):
+        model = DramModel()
+        stats = model.replay(range(0, 64 * 1024, 32), 32)
+        assert stats.hit_rate > 0.9
+
+    def test_scattered_stream_mostly_misses(self):
+        rng = np.random.default_rng(0)
+        model = DramModel()
+        addrs = rng.integers(0, 1 << 30, 4000) * 32
+        stats = model.replay(addrs, 32)
+        assert stats.hit_rate < 0.1
+
+    def test_cycles_reflect_hit_miss_mix(self):
+        cfg = DramConfig()
+        model = DramModel(cfg)
+        stats = model.replay([0, 8, 1 << 20, (1 << 20) + 8], 8)
+        expected = (stats.hits * cfg.hit_cycles
+                    + stats.misses * cfg.miss_cycles)
+        assert stats.cycles == expected
+
+    def test_energy_scales_with_bytes(self):
+        model = DramModel()
+        small = model.replay([0, 1 << 20], 8)
+        model.reset()
+        big = model.replay([0, 1 << 20], 64)
+        assert big.energy_pj > small.energy_pj
+
+    def test_reset_clears_rows(self):
+        model = DramModel()
+        s1 = DramStats()
+        model.access(0, 32, s1)
+        model.reset()
+        s2 = DramStats()
+        model.access(0, 32, s2)
+        assert s2.misses == 1, "after reset the row must be closed"
+
+    def test_empty_replay(self):
+        stats = DramModel().replay([], 32)
+        assert stats.accesses == 0
+        assert stats.hit_rate == 1.0
+
+
+class TestGaussianFetches:
+    def test_local_ids_beat_scattered(self):
+        rng = np.random.default_rng(1)
+        base = rng.integers(0, 1000)
+        local = (base + rng.integers(-30, 30, 2000)) % 100000
+        scattered = rng.integers(0, 100000, 2000)
+        model = DramModel()
+        s_local = model.replay_gaussian_fetches(local)
+        s_scattered = model.replay_gaussian_fetches(scattered)
+        assert s_local.hit_rate > s_scattered.hit_rate
+        assert s_local.cycles < s_scattered.cycles
+
+    def test_bank_distribution_tracked(self):
+        model = DramModel()
+        stats = model.replay(range(0, 8 * 2048, 2048), 32)
+        assert len(stats.per_bank_accesses) == 8

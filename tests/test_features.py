@@ -1,0 +1,67 @@
+"""Image-feature operators: Sobel gradients and Harris response."""
+
+import numpy as np
+import pytest
+
+from repro.core import harris_response, sobel_gradients, sobel_magnitude, to_grayscale
+
+
+class TestGrayscale:
+    def test_passthrough_2d(self):
+        img = np.ones((4, 5))
+        assert to_grayscale(img) is not None
+        assert to_grayscale(img).shape == (4, 5)
+
+    def test_luma_weights(self):
+        img = np.zeros((2, 2, 3))
+        img[..., 1] = 1.0  # pure green
+        assert np.allclose(to_grayscale(img), 0.587)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            to_grayscale(np.zeros((2, 2, 4)))
+
+
+class TestSobel:
+    def test_vertical_edge_horizontal_gradient(self):
+        img = np.zeros((16, 16))
+        img[:, 8:] = 1.0
+        gx, gy = sobel_gradients(img)
+        assert np.abs(gx[8, 7:9]).max() > 0.5
+        assert np.abs(gy[8, 4]) < 1e-9
+
+    def test_flat_image_zero_gradient(self):
+        assert np.allclose(sobel_magnitude(np.full((8, 8), 0.5)), 0.0)
+
+    def test_magnitude_is_hypot(self):
+        rng = np.random.default_rng(0)
+        img = rng.uniform(0, 1, (12, 12))
+        gx, gy = sobel_gradients(img)
+        assert np.allclose(sobel_magnitude(img), np.hypot(gx, gy))
+
+    def test_magnitude_nonnegative(self):
+        rng = np.random.default_rng(1)
+        img = rng.uniform(0, 1, (10, 10, 3))
+        assert np.all(sobel_magnitude(img) >= 0)
+
+
+class TestHarris:
+    def test_corner_beats_edge_and_flat(self):
+        img = np.zeros((32, 32))
+        img[16:, 16:] = 1.0  # one corner at (16, 16)
+        r = harris_response(img)
+        corner = r[14:19, 14:19].max()
+        edge = r[2:6, 15:18].max()       # along the vertical edge, far away
+        flat = r[2:6, 2:6].max()
+        assert corner > edge
+        assert corner > flat
+
+    def test_edges_are_negative(self):
+        """Harris response is negative on pure edges (det small, trace big)."""
+        img = np.zeros((32, 32))
+        img[:, 16:] = 1.0
+        r = harris_response(img)
+        assert r[16, 16] < 0
+
+    def test_flat_is_zero(self):
+        assert np.allclose(harris_response(np.full((8, 8), 0.3)), 0.0)

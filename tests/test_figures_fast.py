@@ -1,0 +1,45 @@
+"""Fast figure drivers exercised as unit tests (model-only, no SLAM runs)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures
+
+
+class TestAreaTable:
+    def test_rows_and_total(self):
+        rows = figures.area_table()
+        total = [r for r in rows if r["component"] == "TOTAL (16nm)"][0]
+        parts = [r["area_mm2"] for r in rows
+                 if "paper" not in r["component"]
+                 and r["component"] != "TOTAL (16nm)"]
+        assert np.isclose(sum(parts), total["area_mm2"])
+
+    def test_comparison_entries_present(self):
+        rows = figures.area_table()
+        names = {r["component"] for r in rows}
+        assert "gscore (paper)" in names
+        assert "gsarch (paper)" in names
+
+
+class TestLutAblation:
+    @pytest.mark.slow
+    def test_monotone_quality(self):
+        rows = figures.ablation_lut(entries_list=(8, 32, 128))
+        psnrs = [r["render_psnr_db"] for r in rows]
+        assert psnrs == sorted(psnrs)
+
+    def test_error_column_independent_of_bundle(self):
+        from repro.hw import ExpLUT
+        assert ExpLUT(64).max_abs_error(5000) < ExpLUT(8).max_abs_error(5000)
+
+
+@pytest.mark.slow
+class TestUnitSensitivity:
+    def test_grid_shape(self):
+        from repro.bench import build_bundle
+        rows = figures.fig27_unit_sensitivity(
+            projection_units=(2, 8), render_units=(2, 4),
+            bundle=build_bundle())
+        assert len(rows) == 4
+        assert all(r["relative_performance"] > 0 for r in rows)

@@ -1,0 +1,96 @@
+"""Foveated sampling extension: density structure and pipeline fit."""
+
+import numpy as np
+import pytest
+
+from repro.core import foveation_tile_map, sample_foveated_pixels
+from repro.core.pixel_pipeline import render_sparse
+from repro.gaussians import Camera, GaussianCloud, Intrinsics
+from repro.render import render_full
+
+W, H = 96, 64
+
+
+class TestTileMap:
+    def test_fovea_is_finest(self):
+        tm = foveation_tile_map(W, H, (W / 2, H / 2), fovea_tile=2,
+                                periphery_tile=16)
+        cy, cx = np.unravel_index(np.argmin(tm), tm.shape)
+        centre = np.array(tm.shape) / 2
+        assert np.linalg.norm(np.array([cy, cx]) - centre + 0.5) < 2
+
+    def test_monotone_with_eccentricity(self):
+        tm = foveation_tile_map(W, H, (0, 0), fovea_tile=2,
+                                periphery_tile=16)
+        assert tm[0, 0] <= tm[-1, -1]
+
+    def test_bounded_by_extremes(self):
+        tm = foveation_tile_map(W, H, (W / 2, H / 2), fovea_tile=4,
+                                periphery_tile=16)
+        assert tm.min() >= 4
+        assert tm.max() <= 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            foveation_tile_map(W, H, (0, 0), fovea_tile=0)
+        with pytest.raises(ValueError):
+            foveation_tile_map(W, H, (0, 0), fovea_tile=3, periphery_tile=16)
+        with pytest.raises(ValueError):
+            foveation_tile_map(W, H, (0, 0), fovea_tile=16, periphery_tile=4)
+
+
+class TestSampling:
+    def test_pixels_in_bounds_and_unique(self):
+        px = sample_foveated_pixels(W, H, (W / 2, H / 2),
+                                    np.random.default_rng(0))
+        assert np.all((px[:, 0] >= 0) & (px[:, 0] < W))
+        assert np.all((px[:, 1] >= 0) & (px[:, 1] < H))
+        assert len(np.unique(px, axis=0)) == len(px)
+
+    def test_density_between_uniform_extremes(self):
+        px = sample_foveated_pixels(W, H, (W / 2, H / 2),
+                                    np.random.default_rng(0),
+                                    fovea_tile=2, periphery_tile=16)
+        n_fine = (W // 2) * (H // 2)
+        n_coarse = (W // 16) * (H // 16)
+        assert n_coarse < len(px) < n_fine
+
+    def test_fovea_denser_than_periphery(self):
+        px = sample_foveated_pixels(W, H, (0, 0), np.random.default_rng(1))
+        d = np.linalg.norm(px.astype(float), axis=1)
+        near = (d < 24).sum() / (np.pi * 24 ** 2 / 4)     # quarter disc
+        far_area = W * H - np.pi * 48 ** 2 / 4
+        far = (d > 48).sum() / max(far_area, 1)
+        assert near > 2 * far
+
+    def test_moving_gaze_moves_density(self):
+        rng = np.random.default_rng(2)
+        left = sample_foveated_pixels(W, H, (0, H / 2), rng)
+        right = sample_foveated_pixels(W, H, (W, H / 2), rng)
+        assert left[:, 0].mean() < right[:, 0].mean()
+
+    def test_seeded(self):
+        a = sample_foveated_pixels(W, H, (10, 10), np.random.default_rng(3))
+        b = sample_foveated_pixels(W, H, (10, 10), np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestPipelineIntegration:
+    def test_renders_through_pixel_pipeline(self):
+        rng = np.random.default_rng(0)
+        n = 80
+        cloud = GaussianCloud.create(
+            means=np.stack([rng.uniform(-2, 2, n), rng.uniform(-1.5, 1.5, n),
+                            rng.uniform(1, 5, n)], axis=-1),
+            scales=rng.uniform(0.05, 0.3, n),
+            opacities=rng.uniform(0.2, 0.9, n),
+            colors=rng.uniform(0, 1, (n, 3)),
+        )
+        cam = Camera(Intrinsics.from_fov(W, H, 75.0))
+        bg = np.full(3, 0.05)
+        px = sample_foveated_pixels(W, H, (W / 2, H / 2),
+                                    np.random.default_rng(1))
+        sparse = render_sparse(cloud, cam, px, bg)
+        full = render_full(cloud, cam, bg, keep_cache=False)
+        u, v = px[:, 0], px[:, 1]
+        assert np.allclose(sparse.color, full.color[v, u], atol=1e-12)

@@ -1,0 +1,116 @@
+"""Voxel grid: conservativeness of frustum and radius queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians import Camera, GaussianCloud, Intrinsics
+from repro.gaussians.grid import VoxelGrid, frustum_planes
+from repro.render import project_gaussians
+
+
+def random_means(n=300, seed=0, box=5.0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-box, box, (n, 3))
+
+
+class TestFrustumPlanes:
+    def test_point_on_axis_inside(self):
+        cam = Camera(Intrinsics.from_fov(32, 24, 70.0))
+        planes = frustum_planes(cam, near=0.1, far=50.0)
+        p = np.array([0.0, 0.0, 2.0])
+        assert np.all(planes[:, :3] @ p + planes[:, 3] >= 0)
+
+    def test_point_behind_outside(self):
+        cam = Camera(Intrinsics.from_fov(32, 24, 70.0))
+        planes = frustum_planes(cam)
+        p = np.array([0.0, 0.0, -1.0])
+        assert np.any(planes[:, :3] @ p + planes[:, 3] < 0)
+
+    def test_point_past_far_outside(self):
+        cam = Camera(Intrinsics.from_fov(32, 24, 70.0))
+        planes = frustum_planes(cam, far=10.0)
+        p = np.array([0.0, 0.0, 20.0])
+        assert np.any(planes[:, :3] @ p + planes[:, 3] < 0)
+
+    def test_wide_lateral_point_outside(self):
+        cam = Camera(Intrinsics.from_fov(32, 24, 70.0))
+        planes = frustum_planes(cam)
+        p = np.array([10.0, 0.0, 1.0])  # far outside the 70-degree cone
+        assert np.any(planes[:, :3] @ p + planes[:, 3] < 0)
+
+    def test_respects_pose(self):
+        from repro.datasets.trajectory import look_at
+        cam = Camera(Intrinsics.from_fov(32, 24, 70.0),
+                     look_at(np.array([0.0, 0, 0]), np.array([5.0, 0, 0])))
+        planes = frustum_planes(cam)
+        ahead = np.array([2.0, 0.0, 0.0])
+        behind = np.array([-2.0, 0.0, 0.0])
+        assert np.all(planes[:, :3] @ ahead + planes[:, 3] >= 0)
+        assert np.any(planes[:, :3] @ behind + planes[:, 3] < 0)
+
+
+class TestBuild:
+    def test_indexes_everything(self):
+        means = random_means()
+        grid = VoxelGrid.build(means, cell_size=0.5)
+        assert grid.num_indexed == len(means)
+
+    def test_rejects_bad_cell(self):
+        with pytest.raises(ValueError):
+            VoxelGrid.build(np.zeros((3, 3)), cell_size=0.0)
+
+    def test_points_land_in_their_cell(self):
+        means = np.array([[0.1, 0.1, 0.1], [1.6, 0.1, 0.1]])
+        grid = VoxelGrid.build(means, cell_size=1.0)
+        assert set(map(tuple, grid.cells)) == {(0, 0, 0), (1, 0, 0)}
+
+
+class TestFrustumQuery:
+    @given(st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_conservative_superset_of_projection(self, seed):
+        """Every Gaussian the renderer would keep must be returned."""
+        rng = np.random.default_rng(seed)
+        n = 120
+        means = rng.uniform(-4, 4, (n, 3))
+        scales = rng.uniform(0.02, 0.2, n)
+        cloud = GaussianCloud.create(means, scales,
+                                     np.full(n, 0.5), np.zeros((n, 3)))
+        cam = Camera(Intrinsics.from_fov(48, 36, 75.0))
+        grid = VoxelGrid.build(means, cell_size=0.8,
+                               max_extent=3.5 * scales.max())
+        candidates = set(grid.query_frustum(cam, near=0.01, far=100.0).tolist())
+        visible = set(project_gaussians(cloud, cam).source_index.tolist())
+        assert visible.issubset(candidates)
+
+    def test_prunes_behind_camera(self):
+        means = np.concatenate([
+            np.tile([0.0, 0.0, 2.0], (10, 1)),
+            np.tile([0.0, 0.0, -20.0], (10, 1)),
+        ])
+        grid = VoxelGrid.build(means, cell_size=0.5)
+        cam = Camera(Intrinsics.from_fov(32, 24, 70.0))
+        idx = grid.query_frustum(cam)
+        assert set(idx.tolist()) == set(range(10))
+
+    def test_empty_grid(self):
+        grid = VoxelGrid.build(np.zeros((0, 3)), cell_size=1.0)
+        cam = Camera(Intrinsics.from_fov(32, 24, 70.0))
+        assert grid.query_frustum(cam).size == 0
+
+
+class TestRadiusQuery:
+    def test_finds_neighbours(self):
+        means = random_means(seed=3)
+        grid = VoxelGrid.build(means, cell_size=0.5)
+        centre = means[0]
+        idx = grid.query_radius(centre, 1.0)
+        truth = np.nonzero(np.linalg.norm(means - centre, axis=1) <= 1.0)[0]
+        assert set(truth.tolist()).issubset(set(idx.tolist()))
+
+    def test_far_point_returns_nothing(self):
+        means = random_means(seed=4, box=1.0)
+        grid = VoxelGrid.build(means, cell_size=0.5)
+        assert grid.query_radius(np.array([100.0, 100, 100]), 0.5).size == 0

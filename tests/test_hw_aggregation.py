@@ -1,0 +1,120 @@
+"""Aggregation-unit simulator: conservation, caching, and the naive bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import AggregationConfig, AggregationUnit
+
+
+def make_stream(n_pixels=40, n_gaussians=200, per_pixel=30, seed=0,
+                locality=True):
+    """Synthetic per-pixel contributing-ID lists with spatial locality."""
+    rng = np.random.default_rng(seed)
+    lists = []
+    centre = rng.integers(n_gaussians)
+    for _ in range(n_pixels):
+        if locality:
+            centre = (centre + rng.integers(-5, 6)) % n_gaussians
+            ids = (centre + rng.integers(-20, 21, per_pixel)) % n_gaussians
+        else:
+            ids = rng.integers(0, n_gaussians, per_pixel)
+        lists.append(np.unique(ids))
+    return lists
+
+
+class TestConfig:
+    def test_entry_counts(self):
+        cfg = AggregationConfig()
+        assert cfg.cache_entries == 1024
+        assert cfg.scoreboard_entries == 512
+
+
+class TestTraceConservation:
+    def test_all_tuples_processed(self):
+        stream = make_stream()
+        trace = AggregationUnit().simulate(stream)
+        assert trace.tuples == sum(len(p) for p in stream)
+
+    def test_hits_plus_misses_equal_unique_lookups(self):
+        stream = make_stream()
+        trace = AggregationUnit().simulate(stream)
+        # One lookup per unique Gaussian per batch.
+        assert trace.cache_hits + trace.cache_misses >= trace.cache_misses
+        assert trace.cache_misses >= 1
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_property_cycles_cover_merge_throughput(self, seed):
+        """The unit can never beat its merge throughput."""
+        stream = make_stream(seed=seed)
+        unit = AggregationUnit()
+        trace = unit.simulate(stream)
+        min_cycles = trace.tuples / unit.config.merge_tuples_per_cycle
+        # Batching means the bound applies per batch; allow equality.
+        assert trace.cycles >= min_cycles * 0.99
+
+    def test_empty_stream(self):
+        trace = AggregationUnit().simulate([])
+        assert trace.cycles == 0.0
+        assert trace.tuples == 0
+
+
+class TestCaching:
+    def test_locality_improves_hit_rate(self):
+        local = AggregationUnit().simulate(make_stream(locality=True))
+        scattered = AggregationUnit().simulate(
+            make_stream(locality=False, n_gaussians=100_000))
+        assert local.hit_rate > scattered.hit_rate
+
+    def test_small_cache_misses_more(self):
+        stream = make_stream(n_gaussians=5000, per_pixel=60)
+        big = AggregationUnit(AggregationConfig(
+            gaussian_cache_bytes=256 * 1024)).simulate(stream)
+        small = AggregationUnit(AggregationConfig(
+            gaussian_cache_bytes=1 * 1024)).simulate(stream)
+        assert small.cache_misses > big.cache_misses
+        assert small.dram_bytes > big.dram_bytes
+
+    def test_repeated_pixel_hits(self):
+        """Identical consecutive lists should hit after the first batch."""
+        ids = np.arange(50)
+        stream = [ids] * 16
+        trace = AggregationUnit().simulate(stream)
+        assert trace.cache_misses == 50
+        assert trace.hit_rate > 0.5
+
+
+class TestNaiveComparison:
+    def test_scoreboard_beats_naive(self):
+        stream = make_stream(n_pixels=60)
+        unit = AggregationUnit()
+        smart = unit.simulate(stream)
+        naive = unit.simulate_naive(stream)
+        assert naive.cycles > 2 * smart.cycles
+        assert naive.dram_bytes > smart.dram_bytes
+
+    def test_naive_counts(self):
+        stream = make_stream(n_pixels=10)
+        naive = AggregationUnit().simulate_naive(stream)
+        assert naive.tuples == sum(len(p) for p in stream)
+        assert naive.cache_hits == 0
+
+
+class TestStalls:
+    def test_scoreboard_overflow_stalls(self):
+        """A batch with more unique Gaussians than scoreboard entries must
+        expose DRAM latency."""
+        cfg = AggregationConfig(scoreboard_bytes=16 * 16)  # 16 entries
+        unit = AggregationUnit(cfg)
+        big_batch = [np.arange(500)] * 4
+        trace = unit.simulate(big_batch)
+        assert trace.stall_cycles > 0
+
+    def test_cached_stream_has_few_stalls(self):
+        ids = np.arange(20)
+        stream = [ids] * 40
+        trace = AggregationUnit().simulate(stream)
+        later_share = trace.stall_cycles / max(trace.cycles, 1)
+        assert later_share < 0.6

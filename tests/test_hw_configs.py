@@ -1,0 +1,87 @@
+"""Configuration plumbing of the hardware models."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    GauSpuAccelerator,
+    GauSpuConfig,
+    GpuSpec,
+    GsArchAccelerator,
+    GsArchConfig,
+    SplatonicAccelerator,
+    SplatonicHwConfig,
+    splatonic_area,
+)
+
+
+class TestSplatonicConfig:
+    def test_defaults_match_section_vi(self):
+        cfg = SplatonicHwConfig()
+        assert cfg.projection_units == 8
+        assert cfg.alpha_filters_per_unit == 4
+        assert cfg.sorting_units == 4
+        assert cfg.raster_engines == 4
+        assert cfg.engine_buffer_bytes == 8 * 1024
+        assert cfg.global_buffer_bytes == 64 * 1024
+        assert cfg.aggregation.gaussian_cache_bytes == 32 * 1024
+        assert cfg.aggregation.scoreboard_bytes == 8 * 1024
+        assert cfg.aggregation.channels == 4
+
+    def test_derived_throughputs(self):
+        cfg = SplatonicHwConfig()
+        assert cfg.alpha_checks_per_cycle == 32
+        assert cfg.render_pairs_per_cycle == 16
+        assert cfg.reverse_pairs_per_cycle == 16
+
+    def test_with_overrides(self):
+        cfg = SplatonicHwConfig().with_overrides(raster_engines=8)
+        assert cfg.raster_engines == 8
+        assert cfg.projection_units == 8
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SplatonicHwConfig().raster_engines = 2
+
+
+class TestBaselineConfigs:
+    def test_gsarch_overrides(self):
+        cfg = GsArchConfig().with_overrides(render_engines=2)
+        assert cfg.render_engines == 2
+
+    def test_gauspu_overrides(self):
+        cfg = GauSpuConfig().with_overrides(sync_overhead_s=1e-4)
+        assert cfg.sync_overhead_s == 1e-4
+
+    def test_models_accept_custom_configs(self):
+        GsArchAccelerator(GsArchConfig(render_engines=4))
+        GauSpuAccelerator(GauSpuConfig(tile_lane_pixels=32))
+        SplatonicAccelerator(SplatonicHwConfig(node_nm=16))
+
+
+class TestGpuSpecDerived:
+    def test_throughputs(self):
+        spec = GpuSpec(sms=4, cores_per_sm=64, sfu_per_sm=8)
+        assert spec.flops_per_cycle == 256
+        assert spec.sfu_ops_per_cycle == 32
+
+    def test_orin_ballpark(self):
+        spec = GpuSpec()
+        assert spec.flops_per_cycle == 1024
+        assert 0.5e9 < spec.clock_hz < 2e9
+
+
+class TestAreaScalesWithConfig:
+    def test_more_engines_more_area(self):
+        base = splatonic_area(SplatonicHwConfig())
+        big = splatonic_area(SplatonicHwConfig(raster_engines=8))
+        assert big.components["raster_engines"] == 2 * base.components[
+            "raster_engines"]
+        # SRAM grows too: each engine carries its double buffer.
+        assert big.components["sram"] > base.components["sram"]
+
+    def test_projection_area_linear(self):
+        a4 = splatonic_area(SplatonicHwConfig(projection_units=4))
+        a8 = splatonic_area(SplatonicHwConfig(projection_units=8))
+        assert np.isclose(a8.components["projection_units"],
+                          2 * a4.components["projection_units"])

@@ -1,0 +1,256 @@
+"""GPU and accelerator performance models: workloads, stage times, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.core import sample_tracking_pixels
+from repro.datasets import make_replica_sequence
+from repro.gaussians import Camera
+from repro.hw import (
+    GauSpuAccelerator,
+    GpuModel,
+    GpuSpec,
+    GsArchAccelerator,
+    SplatonicAccelerator,
+    SplatonicHwConfig,
+    Workload,
+    measure_iteration,
+    pipelined_cycles,
+    sequential_cycles,
+    splatonic_area,
+    StageLoad,
+)
+
+BG = np.full(3, 0.05)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    seq = make_replica_sequence("room0", n_frames=3, width=64, height=48,
+                                surface_density=10)
+    frame = seq[1]
+    cam = Camera(seq.intrinsics, frame.gt_pose_c2w)
+    cloud = seq.gt_cloud
+    pixels = sample_tracking_pixels(64, 48, 16, "random",
+                                    np.random.default_rng(0))
+    f_p = (1200 * 680) / (64 * 48)
+    f_g = 1e5 / len(cloud)
+    return {
+        "dense": measure_iteration(cloud, cam, frame.color, frame.depth,
+                                   "tile", background=BG).upscale(f_p, f_g),
+        "orgs": measure_iteration(cloud, cam, frame.color, frame.depth,
+                                  "tile_sparse", pixels,
+                                  background=BG).upscale(f_p, f_g),
+        "pixel": measure_iteration(cloud, cam, frame.color, frame.depth,
+                                   "pixel", pixels,
+                                   background=BG).upscale(f_p, f_g),
+    }
+
+
+class TestMeasureIteration:
+    def test_modes_produce_expected_pipelines(self, workloads):
+        assert workloads["dense"].pipeline == "tile"
+        assert workloads["orgs"].pipeline == "tile"
+        assert workloads["pixel"].pipeline == "pixel"
+
+    def test_requires_pixels_for_sparse(self):
+        seq = make_replica_sequence("room0", n_frames=2, width=24, height=18,
+                                    surface_density=8)
+        cam = Camera(seq.intrinsics, seq[0].gt_pose_c2w)
+        with pytest.raises(ValueError):
+            measure_iteration(seq.gt_cloud, cam, seq[0].color, seq[0].depth,
+                              "pixel")
+        with pytest.raises(ValueError):
+            measure_iteration(seq.gt_cloud, cam, seq[0].color, seq[0].depth,
+                              "warp9")
+
+    def test_upscale_scales_pixel_counters(self, workloads):
+        base = workloads["dense"]
+        doubled = base.upscale(2.0, 1.0)
+        assert doubled.fwd.num_candidate_pairs == 2 * base.fwd.num_candidate_pairs
+        assert doubled.fwd.num_projected == base.fwd.num_projected
+        assert len(doubled.fwd.tile_work) == 2 * len(base.fwd.tile_work)
+
+    def test_upscale_scales_gaussian_counters(self, workloads):
+        base = workloads["dense"]
+        grown = base.upscale(1.0, 3.0)
+        assert grown.fwd.num_projected == 3 * base.fwd.num_projected
+        assert grown.fwd.num_candidate_pairs == base.fwd.num_candidate_pairs
+
+    def test_scaled_iterations(self, workloads):
+        w = workloads["dense"].scaled(10)
+        assert w.iterations == 10
+
+
+class TestGpuModel:
+    def test_stage_times_positive(self, workloads):
+        gpu = GpuModel()
+        for w in workloads.values():
+            t = gpu.iteration_times(w)
+            for name, v in t.as_dict().items():
+                assert v >= 0, name
+            assert t.total > 0
+
+    def test_dense_much_slower_than_sparse(self, workloads):
+        gpu = GpuModel()
+        dense = gpu.iteration_times(workloads["dense"]).total
+        pixel = gpu.iteration_times(workloads["pixel"]).total
+        assert dense > 5 * pixel
+
+    def test_orgs_between_dense_and_pixel(self, workloads):
+        gpu = GpuModel()
+        dense = gpu.iteration_times(workloads["dense"]).total
+        orgs = gpu.iteration_times(workloads["orgs"]).total
+        pixel = gpu.iteration_times(workloads["pixel"]).total
+        assert pixel <= orgs <= dense
+
+    def test_raster_dominates_dense(self, workloads):
+        t = GpuModel().iteration_times(workloads["dense"])
+        raster_stages = (t.rasterization + t.reverse_rasterization
+                         + t.aggregation)
+        assert raster_stages / t.total > 0.8
+
+    def test_pixel_pipeline_moves_alpha_to_projection(self, workloads):
+        gpu = GpuModel()
+        t_pix = gpu.iteration_times(workloads["pixel"])
+        t_dense = gpu.iteration_times(workloads["dense"])
+        assert t_pix.alpha_check_fwd == 0.0, "no alpha-check inside raster"
+        # Projection's share of the forward pass must grow (Fig. 14 shape).
+        assert (t_pix.projection / t_pix.forward
+                > t_dense.projection / t_dense.forward)
+
+    def test_energy_positive_and_ordered(self, workloads):
+        gpu = GpuModel()
+        e_dense = gpu.iteration_energy(workloads["dense"])
+        e_pixel = gpu.iteration_energy(workloads["pixel"])
+        assert 0 < e_pixel < e_dense
+
+    def test_aggregation_share_rises_with_contention(self, workloads):
+        lowc = GpuModel(GpuSpec(atomic_contention_scale=100.0))
+        highc = GpuModel(GpuSpec(atomic_contention_scale=0.5))
+        w = workloads["dense"]
+        assert (highc.iteration_times(w).aggregation
+                >= lowc.iteration_times(w).aggregation)
+
+    def test_occupancy_monotone(self):
+        gpu = GpuModel()
+        assert gpu._occupancy(1) < gpu._occupancy(64) <= 1.0
+        assert gpu._occupancy(1e9) == 1.0
+
+
+class TestSplatonicAccelerator:
+    def test_report_fields(self, workloads):
+        rep = SplatonicAccelerator().iteration_report(workloads["pixel"])
+        assert rep.total_s > 0
+        assert rep.energy_j > 0
+        assert "projection" in rep.stage_seconds
+        assert "aggregation" in rep.stage_seconds
+
+    def test_rejects_tile_workload(self, workloads):
+        with pytest.raises(ValueError):
+            SplatonicAccelerator().iteration_report(workloads["dense"])
+
+    def test_beats_gpu_sparse(self, workloads):
+        gpu_t = GpuModel().iteration_times(workloads["pixel"]).total
+        rep = SplatonicAccelerator().iteration_report(workloads["pixel"])
+        assert rep.total_s < gpu_t
+
+    def test_more_projection_units_not_slower(self, workloads):
+        w = workloads["pixel"]
+        few = SplatonicAccelerator(SplatonicHwConfig(projection_units=2))
+        many = SplatonicAccelerator(SplatonicHwConfig(projection_units=16))
+        assert many.iteration_report(w).total_s <= few.iteration_report(w).total_s
+
+    def test_ablations_cost_cycles(self, workloads):
+        w = workloads["pixel"]
+        base = SplatonicAccelerator().iteration_report(w).total_s
+        for flag in ("preemptive_alpha", "gamma_cache",
+                     "scoreboard_aggregation", "direct_bbox_indexing"):
+            cfg = SplatonicHwConfig(**{flag: False})
+            degraded = SplatonicAccelerator(cfg).iteration_report(w).total_s
+            assert degraded >= base * 0.999, f"disabling {flag} cannot speed up"
+
+    def test_energy_scales_with_node(self, workloads):
+        w = workloads["pixel"]
+        at8 = SplatonicAccelerator(
+            SplatonicHwConfig(node_nm=8)).iteration_report(w).energy_j
+        at16 = SplatonicAccelerator(
+            SplatonicHwConfig(node_nm=16)).iteration_report(w).energy_j
+        assert at8 < at16
+
+
+class TestBaselineAccelerators:
+    def test_gsarch_runs_tile_workloads(self, workloads):
+        rep = GsArchAccelerator().iteration_report(workloads["dense"])
+        assert rep.total_s > 0
+
+    def test_gsarch_rejects_pixel(self, workloads):
+        with pytest.raises(ValueError):
+            GsArchAccelerator().iteration_report(workloads["pixel"])
+
+    def test_gauspu_rejects_pixel(self, workloads):
+        with pytest.raises(ValueError):
+            GauSpuAccelerator().iteration_report(workloads["pixel"])
+
+    def test_sparse_sampling_helps_baselines(self, workloads):
+        for accel in (GsArchAccelerator(), GauSpuAccelerator()):
+            dense = accel.iteration_report(workloads["dense"]).total_s
+            sparse = accel.iteration_report(workloads["orgs"]).total_s
+            assert sparse < dense
+
+    def test_splatonic_beats_baselines_when_sparse(self, workloads):
+        sp = SplatonicAccelerator().iteration_report(workloads["pixel"])
+        gs = GsArchAccelerator().iteration_report(workloads["orgs"])
+        gp = GauSpuAccelerator().iteration_report(workloads["orgs"])
+        assert sp.total_s < gs.total_s
+        assert sp.total_s < gp.total_s
+        assert sp.energy_j < gs.energy_j
+        assert sp.energy_j < gp.energy_j
+
+    def test_gauspu_charges_gpu_frontend(self, workloads):
+        rep = GauSpuAccelerator().iteration_report(workloads["dense"])
+        assert rep.stage_seconds["gpu_projection"] > 0
+        assert rep.stage_seconds["gpu_sorting"] > 0
+
+
+class TestPipelineComposition:
+    def test_pipelined_is_max(self):
+        stages = [StageLoad("a", 100), StageLoad("b", 250), StageLoad("c", 50)]
+        b = pipelined_cycles(stages)
+        assert b.total == 250
+        assert b.bottleneck == "b"
+
+    def test_sequential_is_sum(self):
+        stages = [StageLoad("a", 100), StageLoad("b", 250)]
+        assert sequential_cycles(stages).total == 350
+
+    def test_fill_latency(self):
+        assert pipelined_cycles([StageLoad("a", 10)], fill_latency=5).total == 15
+
+    def test_share(self):
+        b = pipelined_cycles([StageLoad("a", 75), StageLoad("b", 25)])
+        assert np.isclose(b.share("a"), 0.75)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            StageLoad("a", -1)
+
+
+class TestArea:
+    def test_total_near_paper(self):
+        a = splatonic_area()
+        assert 0.8 < a.total < 1.4
+
+    def test_component_shares(self):
+        a = splatonic_area()
+        assert 0.15 < a.share("raster_engines") < 0.45
+        assert 0.05 < a.share("sram") < 0.30
+
+    def test_scaling(self):
+        a = splatonic_area()
+        smaller = a.scaled_to(16, 8)
+        assert smaller.total < a.total
+
+    def test_area_grows_with_units(self):
+        big = splatonic_area(SplatonicHwConfig(raster_engines=8))
+        assert big.total > splatonic_area().total

@@ -1,0 +1,114 @@
+"""Technology scaling, energy ledger, and the exp LUT."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    ACCEL_OPS,
+    GPU_OPS,
+    NODES,
+    EnergyLedger,
+    ExpLUT,
+    scale_area,
+    scale_delay,
+    scale_energy,
+)
+
+
+class TestScaling:
+    def test_identity(self):
+        assert scale_area(2.0, 16, 16) == 2.0
+        assert scale_energy(2.0, 8, 8) == 2.0
+
+    def test_shrinking_node_shrinks_everything(self):
+        assert scale_area(1.0, 16, 8) < 1.0
+        assert scale_delay(1.0, 16, 8) < 1.0
+        assert scale_energy(1.0, 16, 8) < 1.0
+
+    def test_growing_node_grows(self):
+        assert scale_area(1.0, 16, 28) > 1.0
+
+    def test_roundtrip(self):
+        v = scale_area(scale_area(3.0, 16, 8), 8, 16)
+        assert np.isclose(v, 3.0)
+
+    def test_monotone_across_nodes(self):
+        areas = [NODES[n].area for n in sorted(NODES)]
+        assert areas == sorted(areas)
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            scale_area(1.0, 16, 5)
+
+
+class TestEnergyLedger:
+    def test_total(self):
+        ledger = EnergyLedger(ACCEL_OPS)
+        ledger.add("flop", 1e6)
+        expected = ACCEL_OPS.flop * 1e6 * 1e-12
+        assert np.isclose(ledger.total_joules(), expected)
+
+    def test_accumulates(self):
+        ledger = EnergyLedger(ACCEL_OPS)
+        ledger.add("flop", 10)
+        ledger.add("flop", 5)
+        assert ledger.counts["flop"] == 15
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            EnergyLedger(ACCEL_OPS).add("teleport", 1)
+
+    def test_breakdown_sums_to_total(self):
+        ledger = EnergyLedger(GPU_OPS)
+        ledger.add("flop", 100)
+        ledger.add("dram_byte", 200)
+        ledger.add("atomic", 50)
+        assert np.isclose(sum(ledger.breakdown_joules().values()),
+                          ledger.total_joules())
+
+    def test_scaled_to_preserves_dram(self):
+        scaled = ACCEL_OPS.scaled_to(8)
+        assert scaled.dram_byte == ACCEL_OPS.dram_byte
+        assert scaled.flop < ACCEL_OPS.flop
+
+    def test_gpu_ops_cost_more_than_accel(self):
+        accel8 = ACCEL_OPS.scaled_to(8)
+        assert GPU_OPS.flop > 3 * accel8.flop
+        assert GPU_OPS.special > 3 * accel8.special
+
+
+class TestExpLUT:
+    def test_error_decreases_with_entries(self):
+        errs = [ExpLUT(n).max_abs_error(20_000) for n in (8, 16, 32, 64)]
+        assert all(a > b for a, b in zip(errs, errs[1:]))
+
+    def test_64_entries_below_alpha_threshold(self):
+        """The paper's 64-entry LUT keeps the alpha error below the
+        alpha-check threshold, so no pass/fail decision can flip far from
+        the boundary."""
+        assert ExpLUT(64).max_abs_error(50_000) < 1.0 / 255.0
+
+    def test_exact_at_knots(self):
+        lut = ExpLUT(16)
+        xs = np.linspace(0, lut.x_max, 16)
+        assert np.allclose(lut(xs), np.exp(-xs), atol=1e-12)
+
+    def test_clamps_beyond_range(self):
+        lut = ExpLUT(32)
+        assert lut(np.array([100.0]))[0] == 0.0
+
+    def test_endpoints(self):
+        lut = ExpLUT(64)
+        assert np.isclose(lut(np.array([0.0]))[0], 1.0)
+
+    def test_size_bytes(self):
+        assert ExpLUT(64).size_bytes == 128
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            ExpLUT(1)
+
+    def test_alpha_error_scales_with_opacity(self):
+        lut = ExpLUT(32)
+        assert np.isclose(lut.alpha_error(0.5, 10_000),
+                          0.5 * lut.max_abs_error(10_000))

@@ -1,0 +1,93 @@
+"""Gaussian seeding from RGB-D observations (densification substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians import Camera, GaussianCloud, Intrinsics, seed_from_rgbd
+from repro.gaussians.se3 import se3_exp
+
+
+@pytest.fixture
+def camera():
+    return Camera(Intrinsics.from_fov(32, 24, 70.0))
+
+
+def flat_frame(depth_value=2.0):
+    color = np.random.default_rng(0).uniform(0, 1, (24, 32, 3))
+    depth = np.full((24, 32), depth_value)
+    return color, depth
+
+
+class TestSeeding:
+    def test_seeds_land_at_observed_depth(self, camera):
+        color, depth = flat_frame(2.0)
+        pixels = np.array([[5, 5], [16, 12], [30, 20]])
+        cloud = seed_from_rgbd(camera, color, depth, pixels)
+        assert len(cloud) == 3
+        assert np.allclose(cloud.means[:, 2], 2.0)
+
+    def test_seed_colors_match_image(self, camera):
+        color, depth = flat_frame()
+        pixels = np.array([[7, 9]])
+        cloud = seed_from_rgbd(camera, color, depth, pixels)
+        assert np.allclose(cloud.colors[0], color[9, 7])
+
+    def test_reprojects_to_source_pixel(self, camera):
+        color, depth = flat_frame(3.0)
+        pixels = np.array([[11, 17]])
+        cloud = seed_from_rgbd(camera, color, depth, pixels)
+        uv = camera.intrinsics.project(camera.world_to_camera(cloud.means))
+        assert np.allclose(uv[0], [11.5, 17.5], atol=1e-9)
+
+    def test_respects_camera_pose(self):
+        pose = se3_exp(np.array([0.3, -0.2, 0.1, 0.05, 0.1, -0.02]))
+        camera = Camera(Intrinsics.from_fov(32, 24, 70.0), pose)
+        color, depth = flat_frame(2.5)
+        cloud = seed_from_rgbd(camera, color, depth, np.array([[16, 12]]))
+        p_cam = camera.world_to_camera(cloud.means)
+        assert np.isclose(p_cam[0, 2], 2.5)
+
+    def test_skips_invalid_depth(self, camera):
+        color, depth = flat_frame()
+        depth[5, 5] = 0.0
+        cloud = seed_from_rgbd(camera, color, depth,
+                               np.array([[5, 5], [6, 6]]))
+        assert len(cloud) == 1
+
+    def test_empty_pixels(self, camera):
+        color, depth = flat_frame()
+        cloud = seed_from_rgbd(camera, color, depth,
+                               np.zeros((0, 2), dtype=int))
+        assert len(cloud) == 0
+
+    def test_all_invalid_depth(self, camera):
+        color = np.zeros((24, 32, 3))
+        depth = np.zeros((24, 32))
+        cloud = seed_from_rgbd(camera, color, depth, np.array([[1, 1]]))
+        assert len(cloud) == 0
+
+    def test_scale_matches_pixel_footprint(self, camera):
+        color, depth = flat_frame(2.0)
+        cloud = seed_from_rgbd(camera, color, depth, np.array([[16, 12]]),
+                               scale_factor=1.0)
+        f = 0.5 * (camera.intrinsics.fx + camera.intrinsics.fy)
+        assert np.isclose(cloud.scales[0], 2.0 / f)
+
+    def test_scale_factor_multiplies(self, camera):
+        color, depth = flat_frame(2.0)
+        a = seed_from_rgbd(camera, color, depth, np.array([[16, 12]]),
+                           scale_factor=1.0)
+        b = seed_from_rgbd(camera, color, depth, np.array([[16, 12]]),
+                           scale_factor=2.0)
+        assert np.isclose(b.scales[0], 2 * a.scales[0])
+
+    def test_opacity_applied(self, camera):
+        color, depth = flat_frame()
+        cloud = seed_from_rgbd(camera, color, depth, np.array([[3, 3]]),
+                               initial_opacity=0.42)
+        assert np.isclose(cloud.opacities[0], 0.42, atol=1e-9)
+
+    def test_out_of_bounds_pixels_clipped(self, camera):
+        color, depth = flat_frame()
+        cloud = seed_from_rgbd(camera, color, depth, np.array([[99, 99]]))
+        assert len(cloud) == 1  # clipped to the last valid pixel

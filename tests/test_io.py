@@ -1,0 +1,212 @@
+"""Serialization: cloud npz round trips, PPM/PGM writers, TUM trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians import GaussianCloud, se3_exp
+from repro.io import (
+    load_cloud,
+    load_trajectory_tum,
+    save_cloud,
+    save_pgm,
+    save_ppm,
+    save_trajectory_tum,
+)
+from repro.render import AnisotropicCloud
+
+
+def iso_cloud(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return GaussianCloud.create(
+        means=rng.normal(size=(n, 3)), scales=rng.uniform(0.05, 0.3, n),
+        opacities=rng.uniform(0.2, 0.8, n), colors=rng.uniform(0, 1, (n, 3)))
+
+
+class TestCloudIO:
+    def test_isotropic_roundtrip(self, tmp_path):
+        cloud = iso_cloud()
+        path = str(tmp_path / "c.npz")
+        save_cloud(path, cloud)
+        again = load_cloud(path)
+        assert isinstance(again, GaussianCloud)
+        assert np.allclose(again.means, cloud.means)
+        assert np.allclose(again.colors, cloud.colors)
+
+    def test_anisotropic_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        cloud = AnisotropicCloud.create(
+            means=rng.normal(size=(4, 3)), scales=rng.uniform(0.1, 0.3, (4, 3)),
+            quaternions=rng.normal(size=(4, 4)),
+            opacities=rng.uniform(0.2, 0.8, 4), colors=rng.uniform(0, 1, (4, 3)))
+        path = str(tmp_path / "a.npz")
+        save_cloud(path, cloud)
+        again = load_cloud(path)
+        assert isinstance(again, AnisotropicCloud)
+        assert np.allclose(again.quaternions, cloud.quaternions)
+
+    def test_rejects_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_cloud(str(tmp_path / "x.npz"), object())
+
+    def test_load_appends_extension(self, tmp_path):
+        cloud = iso_cloud()
+        path = str(tmp_path / "bare")
+        save_cloud(path, cloud)  # numpy appends .npz
+        again = load_cloud(path)
+        assert len(again) == len(cloud)
+
+
+class TestImageIO:
+    def test_ppm_header_and_size(self, tmp_path):
+        img = np.random.default_rng(0).uniform(0, 1, (5, 7, 3))
+        path = str(tmp_path / "img.ppm")
+        save_ppm(path, img)
+        raw = open(path, "rb").read()
+        assert raw.startswith(b"P6\n7 5\n255\n")
+        assert len(raw) == len(b"P6\n7 5\n255\n") + 5 * 7 * 3
+
+    def test_ppm_values(self, tmp_path):
+        img = np.zeros((1, 2, 3))
+        img[0, 1] = 1.0
+        path = str(tmp_path / "bw.ppm")
+        save_ppm(path, img)
+        body = open(path, "rb").read().split(b"255\n", 1)[1]
+        assert body == bytes([0, 0, 0, 255, 255, 255])
+
+    def test_ppm_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ppm(str(tmp_path / "x.ppm"), np.zeros((4, 4)))
+
+    def test_pgm_normalization(self, tmp_path):
+        depth = np.array([[0.0, 2.0], [4.0, 1.0]])
+        path = str(tmp_path / "d.pgm")
+        save_pgm(path, depth)
+        body = open(path, "rb").read().split(b"255\n", 1)[1]
+        assert body[2] == 255  # max depth maps to white
+
+    def test_pgm_explicit_max(self, tmp_path):
+        depth = np.array([[1.0]])
+        path = str(tmp_path / "d.pgm")
+        save_pgm(path, depth, max_value=2.0)
+        body = open(path, "rb").read().split(b"255\n", 1)[1]
+        assert body[0] == 128
+
+    def test_pgm_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(str(tmp_path / "x.pgm"), np.zeros((2, 2, 3)))
+
+
+class TestTrajectoryIO:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(2)
+        poses = np.stack([se3_exp(rng.normal(0, 0.3, 6)) for _ in range(7)])
+        path = str(tmp_path / "traj.txt")
+        save_trajectory_tum(path, poses, timestamps=np.arange(7) * 0.1)
+        ts, again = load_trajectory_tum(path)
+        assert np.allclose(ts, np.arange(7) * 0.1)
+        assert np.allclose(again, poses, atol=1e-7)
+
+    def test_default_timestamps(self, tmp_path):
+        poses = np.stack([np.eye(4)] * 3)
+        path = str(tmp_path / "t.txt")
+        save_trajectory_tum(path, poses)
+        ts, _ = load_trajectory_tum(path)
+        assert np.allclose(ts, [0, 1, 2])
+
+    def test_header_skipped(self, tmp_path):
+        path = str(tmp_path / "t.txt")
+        save_trajectory_tum(path, np.stack([np.eye(4)]))
+        first = open(path).readline()
+        assert first.startswith("#")
+
+    def test_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trajectory_tum(str(tmp_path / "x.txt"), np.eye(4))
+        with pytest.raises(ValueError):
+            save_trajectory_tum(str(tmp_path / "x.txt"),
+                                np.stack([np.eye(4)]), timestamps=[1, 2])
+
+    def test_malformed_line(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        open(path, "w").write("1 2 3\n")
+        with pytest.raises(ValueError):
+            load_trajectory_tum(path)
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.txt")
+        open(path, "w").write("# only a header\n")
+        ts, poses = load_trajectory_tum(path)
+        assert len(ts) == 0 and poses.shape == (0, 4, 4)
+
+
+class TestRpe:
+    def test_zero_for_identical(self):
+        from repro.metrics import rpe
+        rng = np.random.default_rng(3)
+        poses = np.stack([se3_exp(rng.normal(0, 0.2, 6)) for _ in range(6)])
+        r = rpe(poses, poses)
+        assert r.trans_rmse < 1e-12
+        assert r.rot_rmse < 1e-9
+        assert r.num_pairs == 5
+
+    def test_detects_drift(self):
+        from repro.metrics import rpe
+        gt = np.stack([se3_exp(np.array([0.1 * i, 0, 0, 0, 0, 0]))
+                       for i in range(6)])
+        est = np.stack([se3_exp(np.array([0.11 * i, 0, 0, 0, 0, 0]))
+                        for i in range(6)])
+        r = rpe(est, gt, delta=1)
+        assert np.isclose(r.trans_rmse, 0.01, atol=1e-9)
+
+    def test_delta_validation(self):
+        from repro.metrics import rpe
+        poses = np.stack([np.eye(4)] * 3)
+        with pytest.raises(ValueError):
+            rpe(poses, poses, delta=0)
+        with pytest.raises(ValueError):
+            rpe(poses, poses, delta=3)
+
+
+class TestSequenceIO:
+    def test_roundtrip(self, tmp_path):
+        from repro.datasets import make_replica_sequence
+        from repro.io import load_sequence, save_sequence
+        seq = make_replica_sequence("room0", n_frames=3, width=24,
+                                    height=18, surface_density=8)
+        path = str(tmp_path / "seq.npz")
+        save_sequence(path, seq)
+        again = load_sequence(path)
+        assert again.name == seq.name
+        assert len(again) == 3
+        assert np.allclose(again[1].color, seq[1].color, atol=1e-6)
+        assert np.allclose(again[2].depth, seq[2].depth, atol=1e-5)
+        assert np.allclose(again.gt_trajectory, seq.gt_trajectory)
+        assert len(again.gt_cloud) == len(seq.gt_cloud)
+        assert again.intrinsics.width == seq.intrinsics.width
+
+    def test_without_gt_cloud(self, tmp_path):
+        from repro.datasets.rgbd import RGBDFrame, RGBDSequence
+        from repro.gaussians import Intrinsics
+        from repro.io import load_sequence, save_sequence
+        intr = Intrinsics.from_fov(8, 6, 70.0)
+        frames = [RGBDFrame(color=np.zeros((6, 8, 3)),
+                            depth=np.ones((6, 8)),
+                            gt_pose_c2w=np.eye(4))]
+        seq = RGBDSequence(name="bare", intrinsics=intr, frames=frames)
+        path = str(tmp_path / "bare.npz")
+        save_sequence(path, seq)
+        again = load_sequence(path)
+        assert again.gt_cloud is None
+        assert len(again) == 1
+
+    def test_loaded_sequence_runs_slam(self, tmp_path):
+        from repro.datasets import make_replica_sequence
+        from repro.io import load_sequence, save_sequence
+        from repro.slam import SLAMSystem
+        seq = make_replica_sequence("room0", n_frames=4, width=32,
+                                    height=24, surface_density=8)
+        path = str(tmp_path / "seq.npz")
+        save_sequence(path, seq)
+        again = load_sequence(path)
+        result = SLAMSystem("flashslam", mode="sparse").run(again)
+        assert np.isfinite(result.ate().rmse)

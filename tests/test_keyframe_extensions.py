@@ -1,0 +1,130 @@
+"""Covisibility keyframe selection and depth-error densification."""
+
+import numpy as np
+import pytest
+
+from repro.core import Splatonic
+from repro.datasets import make_replica_sequence
+from repro.gaussians import Camera, Intrinsics
+from repro.datasets.trajectory import look_at
+from repro.slam import (
+    SPLATAM,
+    Keyframe,
+    KeyframeBuffer,
+    Mapper,
+    SLAMSystem,
+    view_overlap,
+)
+
+BG = np.full(3, 0.05)
+
+
+class TestViewOverlap:
+    def test_full_overlap_same_camera(self):
+        intr = Intrinsics.from_fov(32, 24, 70.0)
+        cam = Camera(intr)
+        rng = np.random.default_rng(0)
+        # Points straight ahead, well inside the frustum.
+        pts = np.stack([rng.uniform(-0.2, 0.2, 50),
+                        rng.uniform(-0.15, 0.15, 50),
+                        rng.uniform(1, 3, 50)], axis=-1)
+        assert view_overlap(pts, cam) == 1.0
+
+    def test_zero_overlap_opposite_view(self):
+        intr = Intrinsics.from_fov(32, 24, 70.0)
+        pts = np.array([[0.0, 0.0, 2.0]])
+        behind = Camera(intr, look_at(np.zeros(3), np.array([0, 0, -5.0])))
+        assert view_overlap(pts, behind) == 0.0
+
+    def test_partial_overlap(self):
+        intr = Intrinsics.from_fov(32, 24, 70.0)
+        cam = Camera(intr)
+        pts = np.array([[0.0, 0.0, 2.0], [50.0, 0.0, 2.0]])
+        assert view_overlap(pts, cam) == 0.5
+
+    def test_empty_points(self):
+        cam = Camera(Intrinsics.from_fov(32, 24, 70.0))
+        assert view_overlap(np.zeros((0, 3)), cam) == 0.0
+
+
+class TestOverlapSelection:
+    def _buffer_with_views(self):
+        intr = Intrinsics.from_fov(32, 24, 70.0)
+        buf = KeyframeBuffer(keyframe_every=1, window=1)
+        depth = np.full((24, 32), 2.0)
+        color = np.zeros((24, 32, 3))
+        # kf0 looks at +z (same as the current frame), kf1 at -z, kf2 +x.
+        poses = [
+            look_at(np.zeros(3), np.array([0, 0, 5.0])),
+            look_at(np.zeros(3), np.array([0, 0, -5.0])),
+            look_at(np.zeros(3), np.array([5.0, 0, 0.2])),
+        ]
+        for i, pose in enumerate(poses):
+            buf.maybe_add(i, pose, color, depth)
+        current = Keyframe(3, poses[0], color, depth)
+        return buf, intr, current
+
+    def test_prefers_covisible_keyframes(self):
+        buf, intr, current = self._buffer_with_views()
+        window = buf.select_by_overlap(current, intr,
+                                       rng=np.random.default_rng(0))
+        indices = [kf.index for kf in window]
+        assert 3 in indices, "current frame always included"
+        assert 0 in indices, "the same-direction keyframe must rank first"
+        assert 1 not in indices, "the opposite-view keyframe must lose"
+
+    def test_falls_back_without_depth(self):
+        intr = Intrinsics.from_fov(32, 24, 70.0)
+        buf = KeyframeBuffer(keyframe_every=1, window=2)
+        buf.maybe_add(0, np.eye(4), np.zeros((24, 32, 3)),
+                      np.zeros((24, 32)))
+        current = Keyframe(1, np.eye(4), np.zeros((24, 32, 3)),
+                           np.zeros((24, 32)))
+        window = buf.select_by_overlap(current, intr)
+        assert any(kf.index == 1 for kf in window)
+
+    def test_slam_runs_with_overlap_policy(self):
+        seq = make_replica_sequence("room0", n_frames=6, width=40, height=30,
+                                    surface_density=8)
+        algo = SPLATAM.with_overrides(keyframe_selection="overlap",
+                                      tracking_iters=10, mapping_iters=4)
+        result = SLAMSystem(algo, mode="sparse").run(seq)
+        assert np.isfinite(result.ate().rmse)
+
+
+class TestDepthErrorDensification:
+    def _setup(self):
+        seq = make_replica_sequence("room0", n_frames=3, width=40, height=30,
+                                    surface_density=8)
+        frame = seq[0]
+        kf = Keyframe(0, frame.gt_pose_c2w, frame.color, frame.depth)
+        return seq, kf
+
+    def test_disabled_by_default(self):
+        seq, kf = self._setup()
+        mapper = Mapper(SPLATAM, seq.intrinsics, Splatonic(), "sparse", BG)
+        gamma = np.zeros(kf.depth.shape)
+        bad_depth = kf.depth * 2.0  # large rendered-depth error everywhere
+        grown = mapper.densify(seq.gt_cloud, kf, gamma, bad_depth)
+        assert len(grown) == len(seq.gt_cloud)
+
+    def test_seeds_on_depth_error(self):
+        seq, kf = self._setup()
+        algo = SPLATAM.with_overrides(densify_depth_error_factor=5.0)
+        mapper = Mapper(algo, seq.intrinsics, Splatonic(), "sparse", BG)
+        gamma = np.zeros(kf.depth.shape)
+        rendered = kf.depth.copy()
+        rendered[:5, :5] += 3.0  # a corner with gross depth error
+        grown = mapper.densify(seq.gt_cloud, kf, gamma, rendered)
+        assert len(grown) > len(seq.gt_cloud)
+        assert len(grown) <= len(seq.gt_cloud) + 25 + 1
+
+    def test_no_seed_when_error_uniform(self):
+        """Uniform error has no outliers above factor x median."""
+        seq, kf = self._setup()
+        algo = SPLATAM.with_overrides(densify_depth_error_factor=5.0)
+        mapper = Mapper(algo, seq.intrinsics, Splatonic(), "sparse", BG)
+        gamma = np.zeros(kf.depth.shape)
+        rendered = kf.depth + 0.05
+        grown = mapper.densify(seq.gt_cloud, kf, gamma, rendered)
+        assert len(grown) == len(seq.gt_cloud)

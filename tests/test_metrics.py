@@ -1,0 +1,160 @@
+"""Metrics: Umeyama alignment, ATE invariances, PSNR/SSIM/depth-L1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians import random_rotation, se3_exp
+from repro.metrics import ate_rmse, depth_l1, psnr, ssim, umeyama_alignment
+
+
+def random_trajectory(n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(0, 0.1, (n, 3)), axis=0)
+
+
+class TestUmeyama:
+    def test_recovers_known_rigid_transform(self):
+        rng = np.random.default_rng(0)
+        src = random_trajectory()
+        R_true = random_rotation(rng)
+        t_true = rng.normal(size=3)
+        dst = src @ R_true.T + t_true
+        R, t, s = umeyama_alignment(src, dst)
+        assert np.allclose(R, R_true, atol=1e-9)
+        assert np.allclose(t, t_true, atol=1e-9)
+        assert s == 1.0
+
+    def test_recovers_scale(self):
+        rng = np.random.default_rng(1)
+        src = random_trajectory(seed=1)
+        dst = 2.5 * src @ random_rotation(rng).T + rng.normal(size=3)
+        _, _, s = umeyama_alignment(src, dst, with_scale=True)
+        assert np.isclose(s, 2.5, atol=1e-9)
+
+    def test_reflection_guard(self):
+        """Alignment must return a proper rotation even for degenerate fits."""
+        src = random_trajectory(seed=2)
+        dst = src * np.array([1.0, 1.0, -1.0])  # mirrored
+        R, _, _ = umeyama_alignment(src, dst)
+        assert np.isclose(np.linalg.det(R), 1.0)
+
+    def test_rejects_too_few(self):
+        with pytest.raises(ValueError):
+            umeyama_alignment(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            umeyama_alignment(np.zeros((5, 3)), np.zeros((6, 3)))
+
+
+class TestATE:
+    def test_zero_for_identical(self):
+        traj = random_trajectory()
+        result = ate_rmse(traj, traj)
+        assert result.rmse < 1e-12
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_to_rigid_transform(self, seed):
+        """Property: ATE is invariant to rigid transforms of the estimate."""
+        rng = np.random.default_rng(seed)
+        gt = random_trajectory(seed=seed)
+        est = gt + rng.normal(0, 0.02, gt.shape)
+        base = ate_rmse(est, gt).rmse
+        R = random_rotation(rng)
+        t = rng.normal(size=3)
+        moved = est @ R.T + t
+        assert np.isclose(ate_rmse(moved, gt).rmse, base, atol=1e-8)
+
+    def test_statistics_ordering(self):
+        rng = np.random.default_rng(3)
+        gt = random_trajectory(seed=3)
+        est = gt + rng.normal(0, 0.05, gt.shape)
+        r = ate_rmse(est, gt)
+        assert r.median <= r.mean + 1e-12 or r.median <= r.max
+        assert r.rmse >= r.mean - 1e-12  # RMSE >= mean for any distribution
+        assert r.max >= r.median
+
+    def test_accepts_pose_arrays(self):
+        poses = np.stack([se3_exp(np.array([i * 0.1, 0, 0, 0, 0, 0]))
+                          for i in range(5)])
+        r = ate_rmse(poses, poses)
+        assert r.rmse < 1e-12
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ate_rmse(np.zeros((5, 2)), np.zeros((5, 2)))
+
+    def test_no_align_penalizes_offset(self):
+        gt = random_trajectory(seed=4)
+        shifted = gt + np.array([1.0, 0, 0])
+        assert ate_rmse(shifted, gt, align=False).rmse > 0.99
+        assert ate_rmse(shifted, gt, align=True).rmse < 1e-9
+
+
+class TestPSNR:
+    def test_infinite_for_identical(self):
+        img = np.random.default_rng(0).uniform(0, 1, (8, 8, 3))
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.1)
+        assert np.isclose(psnr(a, b), 20.0)  # 10*log10(1/0.01)
+
+    def test_mask(self):
+        a = np.zeros((4, 4))
+        b = a.copy()
+        b[0, 0] = 1.0
+        mask = np.ones((4, 4), dtype=bool)
+        mask[0, 0] = False
+        assert psnr(a, b, mask=mask) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestSSIM:
+    def test_one_for_identical(self):
+        img = np.random.default_rng(1).uniform(0, 1, (16, 16))
+        assert np.isclose(ssim(img, img), 1.0)
+
+    def test_less_for_noisy(self):
+        rng = np.random.default_rng(2)
+        img = rng.uniform(0, 1, (16, 16))
+        noisy = np.clip(img + rng.normal(0, 0.2, img.shape), 0, 1)
+        assert ssim(img, noisy) < 0.99
+
+    def test_multichannel(self):
+        img = np.random.default_rng(3).uniform(0, 1, (12, 12, 3))
+        assert np.isclose(ssim(img, img), 1.0)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(0, 1, (16, 16))
+        b = rng.uniform(0, 1, (16, 16))
+        assert -1.0 <= ssim(a, b) <= 1.0
+
+
+class TestDepthL1:
+    def test_zero_for_identical(self):
+        d = np.random.default_rng(5).uniform(0.5, 3, (8, 8))
+        assert depth_l1(d, d) == 0.0
+
+    def test_ignores_invalid_reference(self):
+        ref = np.ones((4, 4))
+        ref[0] = 0.0  # invalid row
+        rendered = np.ones((4, 4))
+        rendered[0] = 99.0
+        assert depth_l1(rendered, ref) == 0.0
+
+    def test_known_value(self):
+        ref = np.ones((4, 4))
+        rendered = np.full((4, 4), 1.25)
+        assert np.isclose(depth_l1(rendered, ref), 0.25)
+
+    def test_all_invalid(self):
+        assert depth_l1(np.ones((3, 3)), np.zeros((3, 3))) == 0.0

@@ -1,0 +1,142 @@
+"""GaussianCloud container: validation, views, and the packed interface."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians import GaussianCloud, inverse_sigmoid, sigmoid
+
+
+def make_cloud(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return GaussianCloud.create(
+        means=rng.normal(size=(n, 3)),
+        scales=rng.uniform(0.01, 0.5, n),
+        opacities=rng.uniform(0.1, 0.9, n),
+        colors=rng.uniform(0, 1, (n, 3)),
+    )
+
+
+class TestSigmoid:
+    @given(st.floats(-30, 30, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_range(self, x):
+        y = sigmoid(np.array([x]))[0]
+        assert 0.0 <= y <= 1.0
+
+    @given(st.floats(1e-5, 1 - 1e-5))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_roundtrip(self, p):
+        assert np.isclose(sigmoid(inverse_sigmoid(np.array([p])))[0], p,
+                          atol=1e-9)
+
+    def test_extreme_stability(self):
+        assert sigmoid(np.array([-1000.0]))[0] == 0.0
+        assert sigmoid(np.array([1000.0]))[0] == 1.0
+
+    def test_inverse_sigmoid_clips(self):
+        assert np.isfinite(inverse_sigmoid(np.array([0.0]))[0])
+        assert np.isfinite(inverse_sigmoid(np.array([1.0]))[0])
+
+
+class TestConstruction:
+    def test_create_natural_params(self):
+        cloud = make_cloud()
+        assert np.all(cloud.scales > 0)
+        assert np.all((cloud.opacities > 0) & (cloud.opacities < 1))
+
+    def test_create_roundtrips_values(self):
+        scales = np.array([0.1, 0.2])
+        opac = np.array([0.3, 0.7])
+        cloud = GaussianCloud.create(np.zeros((2, 3)), scales, opac,
+                                     np.zeros((2, 3)))
+        assert np.allclose(cloud.scales, scales)
+        assert np.allclose(cloud.opacities, opac, atol=1e-9)
+
+    def test_len(self):
+        assert len(make_cloud(7)) == 7
+
+    def test_empty(self):
+        cloud = GaussianCloud.empty()
+        assert len(cloud) == 0
+        assert cloud.pack().shape == (0,)
+
+    @pytest.mark.parametrize("field,shape", [
+        ("means", (4, 2)),
+        ("log_scales", (3,)),
+        ("logit_opacities", (5,)),
+        ("colors", (4, 4)),
+    ])
+    def test_shape_validation(self, field, shape):
+        kwargs = dict(
+            means=np.zeros((4, 3)),
+            log_scales=np.zeros(4),
+            logit_opacities=np.zeros(4),
+            colors=np.zeros((4, 3)),
+        )
+        kwargs[field] = np.zeros(shape)
+        with pytest.raises(ValueError):
+            GaussianCloud(**kwargs)
+
+
+class TestViews:
+    def test_copy_is_deep(self):
+        cloud = make_cloud()
+        dup = cloud.copy()
+        dup.means[0, 0] = 99.0
+        assert cloud.means[0, 0] != 99.0
+
+    def test_subset(self):
+        cloud = make_cloud(6)
+        sub = cloud.subset(np.array([1, 3]))
+        assert len(sub) == 2
+        assert np.allclose(sub.means[0], cloud.means[1])
+
+    def test_prune(self):
+        cloud = make_cloud(6)
+        keep = np.array([True, False, True, False, True, False])
+        pruned = cloud.prune(keep)
+        assert len(pruned) == 3
+        assert np.allclose(pruned.means, cloud.means[keep])
+
+    def test_extend(self):
+        a, b = make_cloud(3, seed=0), make_cloud(4, seed=1)
+        joined = a.extend(b)
+        assert len(joined) == 7
+        assert np.allclose(joined.means[:3], a.means)
+        assert np.allclose(joined.colors[3:], b.colors)
+
+    def test_extend_empty(self):
+        a = make_cloud(3)
+        joined = a.extend(GaussianCloud.empty())
+        assert len(joined) == 3
+
+
+class TestPackUnpack:
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip(self, n):
+        cloud = make_cloud(n, seed=n)
+        recovered = cloud.unpack(cloud.pack())
+        assert np.allclose(recovered.means, cloud.means)
+        assert np.allclose(recovered.log_scales, cloud.log_scales)
+        assert np.allclose(recovered.logit_opacities, cloud.logit_opacities)
+        assert np.allclose(recovered.colors, cloud.colors)
+
+    def test_pack_length(self):
+        cloud = make_cloud(5)
+        assert cloud.pack().shape == (5 * 8,)
+
+    def test_unpack_rejects_wrong_size(self):
+        cloud = make_cloud(5)
+        with pytest.raises(ValueError):
+            cloud.unpack(np.zeros(13))
+
+    def test_unpack_is_new_object(self):
+        cloud = make_cloud(2)
+        vec = cloud.pack()
+        vec[0] += 1.0
+        other = cloud.unpack(vec)
+        assert other.means[0, 0] == cloud.means[0, 0] + 1.0
+        assert cloud.means[0, 0] != other.means[0, 0]

@@ -1,0 +1,117 @@
+"""Renderer edge cases: thresholds, tiny images, degenerate scenes."""
+
+import numpy as np
+import pytest
+
+from repro.core.pixel_pipeline import render_sparse
+from repro.gaussians import Camera, GaussianCloud, Intrinsics
+from repro.render import render_full
+
+BG = np.full(3, 0.05)
+
+
+def one_gaussian(z=2.0, opacity=0.8, scale=0.1):
+    return GaussianCloud.create(
+        means=np.array([[0.0, 0.0, z]]), scales=np.array([scale]),
+        opacities=np.array([opacity]), colors=np.array([[1.0, 0.5, 0.2]]))
+
+
+class TestThresholds:
+    def test_high_alpha_threshold_drops_faint_splats(self):
+        cloud = one_gaussian(opacity=0.05)
+        cam = Camera(Intrinsics.from_fov(16, 12, 70.0))
+        strict = render_full(cloud, cam, BG, alpha_threshold=0.1,
+                             keep_cache=False)
+        assert np.allclose(strict.silhouette, 0.0)
+        lax = render_full(cloud, cam, BG, alpha_threshold=0.001,
+                          keep_cache=False)
+        assert lax.silhouette.max() > 0.0
+
+    def test_t_min_controls_early_termination(self):
+        """A stack of opaque splats: higher t_min terminates earlier."""
+        n = 30
+        cloud = GaussianCloud.create(
+            means=np.tile([0.0, 0.0, 0.0], (n, 1))
+            + np.stack([np.zeros(n), np.zeros(n),
+                        np.linspace(1, 3, n)], axis=-1),
+            scales=np.full(n, 0.3),
+            opacities=np.full(n, 0.9),
+            colors=np.ones((n, 3)))
+        cam = Camera(Intrinsics.from_fov(16, 12, 70.0))
+        eager = render_full(cloud, cam, BG, t_min=1e-1, keep_cache=False)
+        lazy = render_full(cloud, cam, BG, t_min=1e-8, keep_cache=False)
+        assert (eager.stats.num_contrib_pairs
+                < lazy.stats.num_contrib_pairs)
+
+    def test_thresholds_consistent_across_pipelines(self):
+        rng = np.random.default_rng(0)
+        n = 40
+        cloud = GaussianCloud.create(
+            means=np.stack([rng.uniform(-1, 1, n), rng.uniform(-1, 1, n),
+                            rng.uniform(1, 4, n)], axis=-1),
+            scales=rng.uniform(0.05, 0.3, n),
+            opacities=rng.uniform(0.1, 0.9, n),
+            colors=rng.uniform(0, 1, (n, 3)))
+        cam = Camera(Intrinsics.from_fov(24, 18, 70.0))
+        px = np.array([[12, 9], [5, 5], [20, 14]])
+        for thr, tmin in [(0.02, 1e-3), (0.004, 1e-5)]:
+            full = render_full(cloud, cam, BG, alpha_threshold=thr,
+                               t_min=tmin, keep_cache=False)
+            sparse = render_sparse(cloud, cam, px, BG, alpha_threshold=thr,
+                                   t_min=tmin)
+            u, v = px[:, 0], px[:, 1]
+            assert np.allclose(sparse.color, full.color[v, u], atol=1e-12)
+
+
+class TestTinyImages:
+    def test_one_pixel_image(self):
+        cloud = one_gaussian()
+        cam = Camera(Intrinsics(width=1, height=1, fx=10, fy=10,
+                                cx=0.5, cy=0.5))
+        res = render_full(cloud, cam, BG, keep_cache=False)
+        assert res.color.shape == (1, 1, 3)
+        assert res.silhouette[0, 0] > 0.0
+
+    def test_image_smaller_than_tile(self):
+        cloud = one_gaussian()
+        cam = Camera(Intrinsics.from_fov(5, 3, 70.0))
+        res = render_full(cloud, cam, BG, tile_size=16, keep_cache=False)
+        assert res.color.shape == (3, 5, 3)
+        assert res.grid.num_tiles == 1
+
+
+class TestDegenerateScenes:
+    def test_gaussian_exactly_at_near_plane(self):
+        cloud = one_gaussian(z=0.01)
+        cam = Camera(Intrinsics.from_fov(16, 12, 70.0))
+        res = render_full(cloud, cam, BG, keep_cache=False)  # must not raise
+        assert np.all(np.isfinite(res.color))
+
+    def test_huge_gaussian_covers_frame(self):
+        cloud = one_gaussian(scale=5.0, opacity=0.9)
+        cam = Camera(Intrinsics.from_fov(16, 12, 70.0))
+        res = render_full(cloud, cam, BG, keep_cache=False)
+        assert np.all(res.silhouette > 0.5)
+
+    def test_all_gaussians_behind(self):
+        cloud = one_gaussian(z=-3.0)
+        cam = Camera(Intrinsics.from_fov(16, 12, 70.0))
+        res = render_full(cloud, cam, BG, keep_cache=False)
+        assert np.allclose(res.color, BG)
+
+    def test_duplicate_gaussians_composite_in_order(self):
+        """Two identical splats at the same depth: stable order, finite."""
+        base = one_gaussian()
+        cloud = base.extend(base)
+        cam = Camera(Intrinsics.from_fov(16, 12, 70.0))
+        res = render_full(cloud, cam, BG, keep_cache=False)
+        assert np.all(np.isfinite(res.color))
+        single = render_full(base, cam, BG, keep_cache=False)
+        assert res.silhouette.max() > single.silhouette.max()
+
+    def test_nonsquare_pixels(self):
+        intr = Intrinsics(width=20, height=16, fx=30.0, fy=15.0,
+                          cx=10.0, cy=8.0)
+        cloud = one_gaussian()
+        res = render_full(cloud, Camera(intr), BG, keep_cache=False)
+        assert np.all(np.isfinite(res.color))

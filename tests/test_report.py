@@ -1,0 +1,40 @@
+"""Paper-claim registry and comparison grading."""
+
+import pytest
+
+from repro.bench import PAPER_CLAIMS, compare, format_comparison
+
+
+class TestClaims:
+    def test_registry_covers_every_figure(self):
+        figures = {c.figure for c in PAPER_CLAIMS.values()}
+        expected = {"fig04", "fig05", "fig07", "fig08", "fig09", "fig10",
+                    "fig11", "fig14", "fig17", "fig18", "fig19", "fig20",
+                    "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
+                    "fig27", "area"}
+        assert expected.issubset(figures)
+
+    def test_unknown_claim_raises(self):
+        with pytest.raises(KeyError):
+            compare("fig99", "nothing", 1.0)
+
+
+class TestGrading:
+    def test_ratio_within_order_of_magnitude(self):
+        assert compare("fig19", "e2e_speedup", 18.0).shape_holds
+        assert compare("fig19", "e2e_speedup", 140.0).shape_holds
+        assert not compare("fig19", "e2e_speedup", 0.5).shape_holds
+
+    def test_share_within_band(self):
+        assert compare("fig08", "aggregation_share", 0.70).shape_holds
+        assert not compare("fig08", "aggregation_share", 0.1).shape_holds
+
+    def test_absolute_direction(self):
+        assert compare("area", "total_mm2", 0.97).shape_holds
+
+    def test_format(self):
+        rows = [compare("fig19", "e2e_speedup", 18.6),
+                compare("fig22", "splatonic_hw_speedup", 277.5)]
+        text = format_comparison(rows)
+        assert "fig19" in text and "fig22" in text
+        assert text.count("|") > 10

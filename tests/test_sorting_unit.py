@@ -1,0 +1,73 @@
+"""Hierarchical sorting-unit cycle model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import HierarchicalSorter, SortingUnitConfig
+
+
+class TestConfig:
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            SortingUnitConfig(ingest_width=0)
+        with pytest.raises(ValueError):
+            SortingUnitConfig(chunk_size=1)
+        with pytest.raises(ValueError):
+            SortingUnitConfig(merge_ways=1)
+        with pytest.raises(ValueError):
+            HierarchicalSorter(units=0)
+
+
+class TestListCycles:
+    def test_empty_list_free(self):
+        assert HierarchicalSorter().list_cycles(0) == 0.0
+
+    def test_short_list_is_stream_only(self):
+        """Lists within the insertion capacity need no merge passes."""
+        s = HierarchicalSorter(SortingUnitConfig(ingest_width=4,
+                                                 chunk_size=64))
+        assert s.list_cycles(64) == 16.0
+        assert s.list_cycles(30) == 8.0
+
+    def test_long_list_pays_merge_passes(self):
+        cfg = SortingUnitConfig(ingest_width=4, chunk_size=64, merge_ways=4)
+        s = HierarchicalSorter(cfg)
+        # 256 keys = 4 chunks = 1 merge pass: stream * 2.
+        assert s.list_cycles(256) == 64 * 2
+        # 1024 keys = 16 chunks = 2 merge passes: stream * 3.
+        assert s.list_cycles(1024) == 256 * 3
+
+    @given(st.integers(1, 5000))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_length(self, n):
+        s = HierarchicalSorter()
+        assert s.list_cycles(n + 1) >= s.list_cycles(n)
+
+
+class TestPool:
+    def test_work_shares_across_units(self):
+        lists = [40] * 16
+        one = HierarchicalSorter(units=1).total_cycles(lists)
+        four = HierarchicalSorter(units=4).total_cycles(lists)
+        assert np.isclose(four, one / 4)
+
+    def test_critical_path_floor(self):
+        """A single huge list cannot be split across units."""
+        s = HierarchicalSorter(units=8)
+        assert s.total_cycles([4096]) == s.list_cycles(4096)
+
+    def test_empty(self):
+        assert HierarchicalSorter().total_cycles([]) == 0.0
+        assert HierarchicalSorter().total_cycles([0, 0]) == 0.0
+
+    def test_short_lists_dominate_pixel_pipeline(self):
+        """Typical sparse-tracking lists (tens of keys) stay in the
+        insertion front-end: cycles equal ceil(n/width) summed / units."""
+        rng = np.random.default_rng(0)
+        lists = rng.integers(1, 64, 100)
+        s = HierarchicalSorter(units=4)
+        expected = sum(-(-int(n) // 4) for n in lists) / 4
+        assert np.isclose(s.total_cycles(lists), max(
+            expected, max(-(-int(n) // 4) for n in lists)))

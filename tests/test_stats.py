@@ -1,0 +1,87 @@
+"""PipelineStats: counter merging and the warp-utilization model."""
+
+import numpy as np
+import pytest
+
+from repro.render import PipelineStats
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a = PipelineStats(num_candidate_pairs=10, num_contrib_pairs=4,
+                          num_pixels=2)
+        b = PipelineStats(num_candidate_pairs=5, num_contrib_pairs=1,
+                          num_pixels=3)
+        a.merge(b)
+        assert a.num_candidate_pairs == 15
+        assert a.num_contrib_pairs == 5
+        assert a.num_pixels == 5
+
+    def test_gaussians_take_max(self):
+        a = PipelineStats(num_gaussians=100)
+        a.merge(PipelineStats(num_gaussians=70))
+        assert a.num_gaussians == 100
+        a.merge(PipelineStats(num_gaussians=130))
+        assert a.num_gaussians == 130
+
+    def test_lists_extend(self):
+        a = PipelineStats(per_pixel_contribs=[1, 2])
+        a.merge(PipelineStats(per_pixel_contribs=[3]))
+        assert a.per_pixel_contribs == [1, 2, 3]
+
+    def test_tile_work_and_ids_extend(self):
+        a = PipelineStats(tile_work=[(5, 4, 3)])
+        b = PipelineStats(tile_work=[(7, 2, 6)],
+                          pixel_contrib_ids=[np.array([1, 2])])
+        a.merge(b)
+        assert len(a.tile_work) == 2
+        assert len(a.pixel_contrib_ids) == 1
+
+    def test_merge_returns_self(self):
+        a = PipelineStats()
+        assert a.merge(PipelineStats()) is a
+
+
+class TestDerivedQuantities:
+    def test_alpha_pass_rate(self):
+        s = PipelineStats(num_candidate_pairs=100, num_contrib_pairs=25)
+        assert s.alpha_pass_rate == 0.25
+
+    def test_alpha_pass_rate_empty(self):
+        assert PipelineStats().alpha_pass_rate == 0.0
+
+    def test_mean_contribs(self):
+        s = PipelineStats(per_pixel_contribs=[2, 4, 6])
+        assert s.mean_contribs_per_pixel == 4.0
+
+    def test_mean_contribs_empty(self):
+        assert PipelineStats().mean_contribs_per_pixel == 0.0
+
+
+class TestWarpUtilization:
+    def test_uniform_work_is_full(self):
+        s = PipelineStats(per_pixel_contribs=[10] * 64)
+        assert np.isclose(s.warp_utilization(32), 1.0)
+
+    def test_single_hot_lane_is_one_over_warp(self):
+        contribs = [32] + [0] * 31
+        s = PipelineStats(per_pixel_contribs=contribs)
+        assert np.isclose(s.warp_utilization(32), 1.0 / 32.0)
+
+    def test_divergent_below_one(self):
+        rng = np.random.default_rng(0)
+        s = PipelineStats(per_pixel_contribs=list(rng.integers(0, 60, 256)))
+        u = s.warp_utilization(32)
+        assert 0.0 < u < 1.0
+
+    def test_empty_is_full(self):
+        assert PipelineStats().warp_utilization() == 1.0
+
+    def test_all_zero_is_full(self):
+        s = PipelineStats(per_pixel_contribs=[0, 0, 0])
+        assert s.warp_utilization() == 1.0
+
+    def test_padding_handles_partial_warp(self):
+        s = PipelineStats(per_pixel_contribs=[10] * 40)  # 1.25 warps
+        u = s.warp_utilization(32)
+        assert 0.0 < u <= 1.0

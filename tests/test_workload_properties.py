@@ -1,0 +1,110 @@
+"""Property tests on workload scaling and hardware-model monotonicity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import GpuModel, SplatonicAccelerator, Workload
+from repro.render import PipelineStats
+
+
+def synthetic_workload(seed=0, pixels=64, pipeline="pixel"):
+    """A hand-built workload with consistent counters."""
+    rng = np.random.default_rng(seed)
+    lens = rng.integers(5, 60, pixels)
+    contribs = np.minimum(lens, rng.integers(3, 40, pixels))
+    ids = [rng.integers(0, 500, c) for c in contribs]
+    fwd = PipelineStats(
+        pipeline=pipeline,
+        image_width=64, image_height=48,
+        num_gaussians=500, num_projected=450,
+        num_pixels=pixels,
+        num_candidate_pairs=int(lens.sum() * 2),
+        num_contrib_pairs=int(contribs.sum()),
+        num_sort_keys=int(lens.sum()),
+        num_alpha_checks=int(lens.sum() * 2),
+        per_pixel_contribs=[int(c) for c in contribs],
+        pixel_list_lengths=[int(n) for n in lens],
+    )
+    bwd = PipelineStats(
+        pipeline=pipeline,
+        num_gaussians=500, num_projected=450, num_pixels=pixels,
+        num_candidate_pairs=int(lens.sum()),
+        num_contrib_pairs=int(contribs.sum()),
+        num_atomic_adds=int(contribs.sum()),
+        per_pixel_contribs=[int(c) for c in contribs],
+        pixel_list_lengths=[int(n) for n in lens],
+        pixel_contrib_ids=ids,
+    )
+    if pipeline == "tile":
+        tiles = [(int(n), 16, int(n)) for n in lens[:8]]
+        fwd.tile_work = list(tiles)
+        bwd.tile_work = list(tiles)
+        fwd.num_tile_pairs = int(sum(t[0] for t in tiles))
+        bwd.num_tile_pairs = fwd.num_tile_pairs
+    return Workload("synthetic", fwd, bwd)
+
+
+class TestUpscaleProperties:
+    @given(st.integers(0, 100), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_pixel_counters_scale_linearly(self, seed, factor):
+        w = synthetic_workload(seed)
+        up = w.upscale(factor, 1.0)
+        assert up.fwd.num_candidate_pairs == factor * w.fwd.num_candidate_pairs
+        assert up.bwd.num_atomic_adds == factor * w.bwd.num_atomic_adds
+        assert len(up.fwd.pixel_list_lengths) == factor * len(
+            w.fwd.pixel_list_lengths)
+
+    @given(st.integers(0, 100), st.floats(0.5, 20.0))
+    @settings(max_examples=25, deadline=None)
+    def test_gaussian_counters_scale(self, seed, factor):
+        w = synthetic_workload(seed)
+        up = w.upscale(1.0, factor)
+        assert up.fwd.num_projected == int(w.fwd.num_projected * factor)
+        assert up.fwd.num_candidate_pairs == w.fwd.num_candidate_pairs
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_id_streams_not_replicated(self, seed):
+        w = synthetic_workload(seed)
+        up = w.upscale(7.0, 2.0)
+        assert len(up.bwd.pixel_contrib_ids) == len(w.bwd.pixel_contrib_ids)
+
+
+class TestModelMonotonicity:
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_gpu_time_monotone_in_pixels(self, seed):
+        gpu = GpuModel()
+        small = synthetic_workload(seed, pixels=32)
+        big = synthetic_workload(seed, pixels=128)
+        assert (gpu.iteration_times(big).total
+                >= gpu.iteration_times(small).total - 1e-12)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_accel_time_monotone_in_scale(self, seed):
+        accel = SplatonicAccelerator()
+        w = synthetic_workload(seed)
+        base = accel.iteration_report(w).total_s
+        bigger = accel.iteration_report(w.upscale(4.0, 1.0)).total_s
+        assert bigger >= base
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_energy_monotone_in_scale(self, seed):
+        gpu = GpuModel()
+        w = synthetic_workload(seed)
+        assert (gpu.iteration_energy(w.upscale(3.0, 1.0))
+                >= gpu.iteration_energy(w))
+
+    def test_iterations_amortize(self):
+        gpu = GpuModel()
+        w = synthetic_workload(0)
+        once = gpu.iteration_times(w).total
+        amortized = gpu.iteration_times(w.scaled(10)).total
+        # Same totals spread over 10 iterations -> smaller per-iteration
+        # compute, but launch/overhead stay per-iteration.
+        assert amortized < once
