@@ -14,6 +14,8 @@ Layers (bottom-up):
 - :mod:`repro.hw` — mobile-GPU model and the SPLATONIC / GSArch / GauSPU
   accelerator models driven by workload counters.
 - :mod:`repro.bench` — experiment drivers regenerating the paper's figures.
+- :mod:`repro.obs` — hierarchical span tracer, metrics registry, and
+  leveled logging across all of the above (disabled-by-default tracing).
 """
 
 from .core import Splatonic, SplatonicConfig

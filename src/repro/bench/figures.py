@@ -144,7 +144,7 @@ def fig07_utilization(scenes: Optional[Sequence[str]] = None) -> List[Dict]:
     for name in scenes:
         w = _scene_render_stats(name)
         rows.append({"scene": name,
-                     "thread_utilization": w.fwd.warp_utilization()})
+                     "thread_utilization": w.fwd.summary()["warp_utilization"]})
     rows.append({"scene": "mean",
                  "thread_utilization":
                      float(np.mean([r["thread_utilization"] for r in rows]))})

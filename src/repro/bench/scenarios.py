@@ -24,6 +24,7 @@ from ..datasets import make_replica_sequence
 from ..datasets.rgbd import RGBDSequence
 from ..gaussians import Camera, GaussianCloud
 from ..hw import Workload, measure_iteration
+from ..obs import trace
 from ..slam import SLAMSystem
 from ..slam.system import SLAMResult
 
@@ -67,10 +68,12 @@ def build_bundle(sequence_name: str = "room0", width: int = 96,
                  surface_density: float = 12.0,
                  algorithm: str = "splatam", seed: int = 0) -> ProxyBundle:
     """Run a short SLAM to obtain a realistic map + pose for workloads."""
-    sequence = make_replica_sequence(
-        sequence_name, n_frames=n_frames, width=width, height=height,
-        surface_density=surface_density)
-    result = SLAMSystem(algorithm, mode="sparse", seed=seed).run(sequence)
+    with trace.span("bench.build_bundle", sequence=sequence_name,
+                    width=width, height=height, frames=n_frames):
+        sequence = make_replica_sequence(
+            sequence_name, n_frames=n_frames, width=width, height=height,
+            surface_density=surface_density)
+        result = SLAMSystem(algorithm, mode="sparse", seed=seed).run(sequence)
     # Probe a frame the mapper has just covered, so the unseen-pixel set
     # reflects the paper's steady state rather than brand-new territory.
     frame_index = max(4, ((n_frames - 2) // 4) * 4)
@@ -98,6 +101,8 @@ def tracking_workloads(bundle: ProxyBundle, tile: int = 16,
     pixels = sample_tracking_pixels(bundle.width, bundle.height, tile,
                                     "random", rng)
     f_p, f_g = bundle.pixel_factor, bundle.gaussian_factor
+    workload_span = trace.span("bench.tracking_workloads", tile=tile)
+    workload_span.__enter__()
     out = {}
     out["dense"] = measure_iteration(
         bundle.cloud, bundle.camera, frame.color, frame.depth,
@@ -108,6 +113,7 @@ def tracking_workloads(bundle: ProxyBundle, tile: int = 16,
     out["pixel"] = measure_iteration(
         bundle.cloud, bundle.camera, frame.color, frame.depth,
         "pixel", pixels, name="splatonic").upscale(f_p, f_g)
+    workload_span.__exit__(None, None, None)
     return out
 
 
@@ -124,6 +130,8 @@ def mapping_workloads(bundle: ProxyBundle, tile: int = 4,
     samples = splat.sample_mapping(first.final_transmittance, frame.color)
     pixels = samples.all_pixels
     f_p, f_g = bundle.pixel_factor, bundle.gaussian_factor
+    workload_span = trace.span("bench.mapping_workloads", tile=tile)
+    workload_span.__enter__()
     out = {}
     out["dense"] = measure_iteration(
         bundle.cloud, bundle.camera, frame.color, frame.depth,
@@ -134,4 +142,5 @@ def mapping_workloads(bundle: ProxyBundle, tile: int = 4,
     out["pixel"] = measure_iteration(
         bundle.cloud, bundle.camera, frame.color, frame.depth,
         "pixel", pixels, name="splatonic-mapping").upscale(f_p, f_g)
+    workload_span.__exit__(None, None, None)
     return out

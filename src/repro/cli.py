@@ -1,11 +1,16 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     repro slam --sequence room0 --out results/      # run SLAM, save outputs
     repro render --scene-seed 7 --out view.ppm      # render a scene
     repro figure fig22                              # regenerate one figure
+    repro trace --frames 4 --out trace.json         # traced proxy SLAM run
     repro info                                      # presets + hw summary
+
+Global flags: ``-v``/``-q`` adjust log verbosity and ``--trace PATH``
+captures a Chrome trace of *any* subcommand (open it in Perfetto or
+``chrome://tracing``; see README "Observability").
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -20,13 +25,25 @@ from typing import List, Optional
 
 import numpy as np
 
+from .obs import configure, get_logger, trace
+
 __all__ = ["main", "build_parser"]
+
+log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SPLATONIC: sparse-processing 3DGS SLAM (reproduction)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more log output (repeatable)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less log output (repeatable)")
+    parser.add_argument("--trace", dest="trace_out", metavar="PATH",
+                        default=None,
+                        help="capture a Chrome trace of the subcommand "
+                             "and write it to PATH")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_slam = sub.add_parser("slam", help="run SLAM on a synthetic sequence")
@@ -61,12 +78,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name", help="e.g. fig11, fig22, area "
                                     "(see `repro figure list`)")
 
+    p_trace = sub.add_parser(
+        "trace", help="run a traced proxy SLAM sequence and report the "
+                      "per-stage time breakdown")
+    p_trace.add_argument("--sequence", default="room0")
+    p_trace.add_argument("--dataset", choices=["replica", "tum"],
+                         default="replica")
+    p_trace.add_argument("--algorithm", default="splatam",
+                         choices=["splatam", "monogs", "gsslam", "flashslam"])
+    p_trace.add_argument("--mode", choices=["sparse", "dense"],
+                         default="sparse")
+    p_trace.add_argument("--frames", type=int, default=4)
+    p_trace.add_argument("--width", type=int, default=48)
+    p_trace.add_argument("--height", type=int, default=36)
+    p_trace.add_argument("--tracking-tile", type=int, default=8)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace-event JSON output path")
+    p_trace.add_argument("--metrics-out", default=None,
+                         help="optional metrics-registry JSON output path")
+
     sub.add_parser("info", help="print presets and hardware configuration")
     return parser
 
 
-def _cmd_slam(args) -> int:
+def _make_sequence(args):
     from .datasets import make_replica_sequence, make_tum_sequence
+
+    maker = (make_replica_sequence if args.dataset == "replica"
+             else make_tum_sequence)
+    log.info(f"building {args.dataset}/{args.sequence} "
+             f"({args.frames} frames, {args.width}x{args.height}) ...")
+    return maker(args.sequence, n_frames=args.frames, width=args.width,
+                 height=args.height, surface_density=10)
+
+
+def _cmd_slam(args) -> int:
     from .core import SplatonicConfig
     from .io import save_cloud, save_ppm, save_trajectory_tum
     from .metrics import rpe
@@ -74,30 +121,26 @@ def _cmd_slam(args) -> int:
     from .gaussians import Camera
     from .slam import SLAMSystem
 
-    maker = (make_replica_sequence if args.dataset == "replica"
-             else make_tum_sequence)
-    print(f"building {args.dataset}/{args.sequence} "
-          f"({args.frames} frames, {args.width}x{args.height}) ...")
-    sequence = maker(args.sequence, n_frames=args.frames, width=args.width,
-                     height=args.height, surface_density=10)
+    sequence = _make_sequence(args)
     system = SLAMSystem(
         args.algorithm, mode=args.mode,
         splatonic_config=SplatonicConfig(tracking_tile=args.tracking_tile),
         seed=args.seed)
-    print(f"running {args.algorithm} ({args.mode}) ...")
+    log.info(f"running {args.algorithm} ({args.mode}) ...")
     result = system.run(sequence)
 
     ate = result.ate()
     drift = rpe(result.est_trajectory, result.gt_trajectory)
     quality = result.eval_quality(sequence)
-    print(f"ATE  : {ate.rmse * 100:.2f} cm (rmse), "
-          f"{ate.median * 100:.2f} cm (median)")
-    print(f"RPE  : {drift.trans_rmse * 100:.2f} cm, "
-          f"{np.rad2deg(drift.rot_rmse):.2f} deg per frame")
-    print(f"PSNR : {quality['psnr']:.2f} dB   SSIM: {quality['ssim']:.3f}   "
-          f"depth L1: {quality['depth_l1']:.3f} m")
-    print(f"map  : {len(result.cloud)} Gaussians after "
-          f"{result.mapping_invocations} mapping invocations")
+    log.info(f"ATE  : {ate.rmse * 100:.2f} cm (rmse), "
+             f"{ate.median * 100:.2f} cm (median)")
+    log.info(f"RPE  : {drift.trans_rmse * 100:.2f} cm, "
+             f"{np.rad2deg(drift.rot_rmse):.2f} deg per frame")
+    log.info(f"PSNR : {quality['psnr']:.2f} dB   "
+             f"SSIM: {quality['ssim']:.3f}   "
+             f"depth L1: {quality['depth_l1']:.3f} m")
+    log.info(f"map  : {len(result.cloud)} Gaussians after "
+             f"{result.mapping_invocations} mapping invocations")
 
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -110,8 +153,8 @@ def _cmd_slam(args) -> int:
         view = render_full(result.cloud, cam, np.full(3, 0.05),
                            keep_cache=False)
         save_ppm(os.path.join(args.out, "final_view.ppm"), view.color)
-        print(f"wrote trajectory_est.txt / trajectory_gt.txt / cloud.npz / "
-              f"final_view.ppm to {args.out}")
+        log.info(f"wrote trajectory_est.txt / trajectory_gt.txt / cloud.npz "
+                 f"/ final_view.ppm to {args.out}")
     return 0
 
 
@@ -136,11 +179,11 @@ def _cmd_render(args) -> int:
                                   np.array([2.5, 0.0, 1.0])))
     result = render_full(cloud, camera, np.full(3, 0.05), keep_cache=False)
     save_ppm(args.out, result.color)
-    print(f"wrote {args.out} ({args.width}x{args.height}, "
-          f"{len(cloud)} Gaussians)")
+    log.info(f"wrote {args.out} ({args.width}x{args.height}, "
+             f"{len(cloud)} Gaussians)")
     if args.depth_out:
         save_pgm(args.depth_out, result.depth)
-        print(f"wrote {args.depth_out}")
+        log.info(f"wrote {args.depth_out}")
     return 0
 
 
@@ -176,9 +219,40 @@ def _cmd_figure(args) -> int:
         raise SystemExit(
             f"unknown figure {args.name!r}; try `repro figure list`")
     fn = getattr(figures, _FIGURES[args.name])
-    print(f"running {args.name} ({fn.__name__}) — this may take a while ...")
+    log.info(f"running {args.name} ({fn.__name__}) — this may take a "
+             f"while ...")
     rows = fn()
     print_table(args.name, rows)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run a proxy SLAM sequence under the tracer and report per stage."""
+    from .core import SplatonicConfig
+    from .obs import ingest_pipeline_stats, metrics
+    from .slam import SLAMSystem
+
+    sequence = _make_sequence(args)
+    system = SLAMSystem(
+        args.algorithm, mode=args.mode,
+        splatonic_config=SplatonicConfig(tracking_tile=args.tracking_tile),
+        seed=args.seed)
+    log.info(f"tracing {args.algorithm} ({args.mode}) ...")
+    with trace.capture():
+        result = system.run(sequence)
+
+    for stage in SLAMSystem.STAGES:
+        ingest_pipeline_stats(stage, result.stage_stats[stage])
+
+    n_events = trace.write_chrome_trace(args.out)
+    print(trace.format_summary(
+        title=f"stage times — {args.algorithm}/{args.mode}, "
+              f"{result.num_frames} frames"))
+    log.info(f"wrote {n_events} trace events to {args.out} "
+             f"(load in Perfetto / chrome://tracing)")
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        log.info(f"wrote metrics registry to {args.metrics_out}")
     return 0
 
 
@@ -187,34 +261,50 @@ def _cmd_info(_args) -> int:
     from .hw import GpuSpec, SplatonicHwConfig, splatonic_area
     from .slam import ALGORITHMS
 
-    print(f"repro {__version__} — SPLATONIC reproduction (HPCA 2026)")
-    print("\nalgorithm presets:")
+    log.info(f"repro {__version__} — SPLATONIC reproduction (HPCA 2026)")
+    log.info("\nalgorithm presets:")
     for name, cfg in ALGORITHMS.items():
-        print(f"  {name:10s} track_iters={cfg.tracking_iters:3d} "
-              f"map_iters={cfg.mapping_iters:3d} map_every={cfg.map_every} "
-              f"kf_window={cfg.keyframe_window}")
+        log.info(f"  {name:10s} track_iters={cfg.tracking_iters:3d} "
+                 f"map_iters={cfg.mapping_iters:3d} "
+                 f"map_every={cfg.map_every} "
+                 f"kf_window={cfg.keyframe_window}")
     spec = GpuSpec()
-    print(f"\nGPU model: {spec.name}, {spec.sms} SMs x "
-          f"{spec.cores_per_sm} cores @ {spec.clock_hz / 1e6:.0f} MHz")
+    log.info(f"\nGPU model: {spec.name}, {spec.sms} SMs x "
+             f"{spec.cores_per_sm} cores @ {spec.clock_hz / 1e6:.0f} MHz")
     hw = SplatonicHwConfig()
     area = splatonic_area(hw)
-    print(f"SPLATONIC-HW: {hw.projection_units} projection units x "
-          f"{hw.alpha_filters_per_unit} alpha-filters, "
-          f"{hw.sorting_units} sorters, {hw.raster_engines} raster engines, "
-          f"{area.total:.2f} mm^2 @ 16 nm")
+    log.info(f"SPLATONIC-HW: {hw.projection_units} projection units x "
+             f"{hw.alpha_filters_per_unit} alpha-filters, "
+             f"{hw.sorting_units} sorters, {hw.raster_engines} raster "
+             f"engines, {area.total:.2f} mm^2 @ 16 nm")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure(args.verbose - args.quiet)
     handlers = {
         "slam": _cmd_slam,
         "render": _cmd_render,
         "figure": _cmd_figure,
+        "trace": _cmd_trace,
         "info": _cmd_info,
     }
-    return handlers[args.command](args)
+    # Global --trace: capture the whole subcommand (the `trace` subcommand
+    # manages its own capture window and output path).
+    capture_path = args.trace_out if args.command != "trace" else None
+    if capture_path:
+        trace.enable(reset=True)
+    try:
+        code = handlers[args.command](args)
+    finally:
+        if capture_path:
+            trace.disable()
+            n_events = trace.write_chrome_trace(capture_path)
+            print(trace.format_summary(title=f"trace — {args.command}"))
+            log.info(f"wrote {n_events} trace events to {capture_path}")
+    return code
 
 
 if __name__ == "__main__":

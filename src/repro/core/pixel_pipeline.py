@@ -29,6 +29,7 @@ import numpy as np
 
 from ..gaussians.camera import Camera
 from ..gaussians.model import GaussianCloud
+from ..obs import trace
 from ..render.backward import (
     ProjectedGradients,
     RenderGradients,
@@ -143,7 +144,8 @@ def render_sparse(
     pixels = np.atleast_2d(np.asarray(pixels, dtype=int))
     K = pixels.shape[0]
 
-    proj = project_gaussians(cloud, camera)
+    with trace.span("render.project", pipeline="pixel"):
+        proj = project_gaussians(cloud, camera)
     stats = PipelineStats(
         pipeline="pixel",
         image_width=intr.width,
@@ -166,26 +168,31 @@ def render_sparse(
         return SparseRenderResult(pixels, color, depth, silhouette, proj,
                                   pixel_lists, caches, stats)
 
-    centres = pixels + 0.5
-    # Per-pixel projection: bbox test of every (pixel, Gaussian) pair.
-    du = centres[:, 0:1] - proj.mean2d[None, :, 0]
-    dv = centres[:, 1:2] - proj.mean2d[None, :, 1]
-    r = proj.radius[None, :]
-    in_bbox = (np.abs(du) <= r) & (np.abs(dv) <= r)
-    bbox_hits = int(in_bbox.sum())
-    stats.num_candidate_pairs += bbox_hits
+    with trace.span("render.alpha_check", pipeline="pixel"):
+        centres = pixels + 0.5
+        # Per-pixel projection: bbox test of every (pixel, Gaussian) pair.
+        du = centres[:, 0:1] - proj.mean2d[None, :, 0]
+        dv = centres[:, 1:2] - proj.mean2d[None, :, 1]
+        r = proj.radius[None, :]
+        in_bbox = (np.abs(du) <= r) & (np.abs(dv) <= r)
+        bbox_hits = int(in_bbox.sum())
+        stats.num_candidate_pairs += bbox_hits
 
-    if preemptive_alpha:
-        # Preemptive alpha-checking happens in the projection stage.
-        d2 = du * du + dv * dv
-        inv_2var = 1.0 / (2.0 * proj.sigma2d * proj.sigma2d)
-        alpha = np.minimum(
-            proj.opacity[None, :] * exp_fn(-d2 * inv_2var[None, :]), ALPHA_MAX)
-        survives = in_bbox & (alpha >= alpha_threshold)
-        stats.num_alpha_checks += bbox_hits
-    else:
-        survives = in_bbox
+        if preemptive_alpha:
+            # Preemptive alpha-checking happens in the projection stage.
+            d2 = du * du + dv * dv
+            inv_2var = 1.0 / (2.0 * proj.sigma2d * proj.sigma2d)
+            alpha = np.minimum(
+                proj.opacity[None, :] * exp_fn(-d2 * inv_2var[None, :]),
+                ALPHA_MAX)
+            survives = in_bbox & (alpha >= alpha_threshold)
+            stats.num_alpha_checks += bbox_hits
+        else:
+            survives = in_bbox
 
+    composite_span = trace.span("render.composite", pipeline="pixel",
+                                pixels=K)
+    composite_span.__enter__()
     for k in range(K):
         cand = np.nonzero(survives[k])[0]
         cand = sort_by_depth(cand, proj.depth)
@@ -218,6 +225,7 @@ def render_sparse(
         stats.num_contrib_pairs += contribs
         stats.per_pixel_contribs.append(contribs)
         caches.append(cache if keep_cache else None)
+    composite_span.__exit__(None, None, None)
 
     return SparseRenderResult(pixels, color, depth, silhouette, proj,
                               pixel_lists, caches, stats)
@@ -253,6 +261,8 @@ def backward_sparse(
     d_depth = np.atleast_1d(np.asarray(d_depth, dtype=float))
     d_silhouette = np.atleast_1d(np.asarray(d_silhouette, dtype=float))
 
+    bwd_span = trace.span("render.pixel_bwd", pipeline="pixel", pixels=K)
+    bwd_span.__enter__()
     for k in range(K):
         cand = result.pixel_lists[k]
         cache = result.caches[k]
@@ -278,6 +288,8 @@ def backward_sparse(
         stats.pixel_contrib_ids.append(
             proj.source_index[cand[cache.contrib[0]]])
 
-    grads = reproject_gradients(proj, cloud, camera, pg)
+    with trace.span("render.reproject", pipeline="pixel"):
+        grads = reproject_gradients(proj, cloud, camera, pg)
+    bwd_span.__exit__(None, None, None)
     grads.stats = stats
     return grads

@@ -21,6 +21,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..obs import trace
+
 __all__ = ["AggregationConfig", "AggregationTrace", "AggregationUnit"]
 
 # Accumulated-gradient record per Gaussian resident in the cache.
@@ -79,6 +81,11 @@ class AggregationUnit:
 
     def simulate(self, pixel_gaussian_ids: Sequence[np.ndarray]) -> AggregationTrace:
         """Process per-pixel contributing-Gaussian ID lists, in order."""
+        with trace.span("hw.aggregation.simulate",
+                        pixels=len(pixel_gaussian_ids)):
+            return self._simulate(pixel_gaussian_ids)
+
+    def _simulate(self, pixel_gaussian_ids: Sequence[np.ndarray]) -> AggregationTrace:
         cfg = self.config
         cache: "OrderedDict[int, bool]" = OrderedDict()
         cycles = 0.0

@@ -17,6 +17,8 @@ from typing import Dict, Iterable
 
 import numpy as np
 
+from ..obs import trace
+
 __all__ = ["DramConfig", "DramStats", "DramModel"]
 
 
@@ -83,11 +85,12 @@ class DramModel:
 
     def replay(self, addresses: Iterable[int], nbytes: int) -> DramStats:
         """Replay many accesses of uniform size; returns the tally."""
-        self.reset()
-        stats = DramStats()
-        for a in addresses:
-            self.access(a, nbytes, stats)
-        return stats
+        with trace.span("hw.dram.replay", nbytes=nbytes):
+            self.reset()
+            stats = DramStats()
+            for a in addresses:
+                self.access(a, nbytes, stats)
+            return stats
 
     def replay_gaussian_fetches(self, gaussian_ids: Iterable[int],
                                 record_bytes: int = 32) -> DramStats:

@@ -31,6 +31,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..obs import trace
 from ..render.stats import PipelineStats
 from .energy import GPU_OPS, EnergyLedger, OpEnergies
 from .workload import Workload
@@ -305,6 +306,11 @@ class GpuModel:
 
     def iteration_times(self, workload: Workload) -> StageTimes:
         """Average per-iteration stage latencies of a workload."""
+        with trace.span("hw.gpu.iteration_times", workload=workload.name,
+                        pipeline=workload.pipeline):
+            return self._iteration_times(workload)
+
+    def _iteration_times(self, workload: Workload) -> StageTimes:
         it = max(workload.iterations, 1)
         fwd, bwd = workload.fwd, workload.bwd
         t = StageTimes()
@@ -327,6 +333,11 @@ class GpuModel:
 
     def iteration_energy(self, workload: Workload) -> float:
         """Average per-iteration energy (joules) of a workload."""
+        with trace.span("hw.gpu.iteration_energy", workload=workload.name,
+                        pipeline=workload.pipeline):
+            return self._iteration_energy(workload)
+
+    def _iteration_energy(self, workload: Workload) -> float:
         it = max(workload.iterations, 1)
         fwd, bwd = workload.fwd, workload.bwd
         ledger = EnergyLedger(self.ops)

@@ -1,0 +1,46 @@
+"""Observability: hierarchical tracing, metrics, and leveled logging.
+
+Three cooperating pieces, all stdlib-only (no imports from the rest of
+the package, so any layer may instrument itself without cycles):
+
+- :mod:`repro.obs.tracing` — the :data:`trace` span tracer.  Wrap stages
+  in ``with trace.span("tracking_fwd", frame=i):``; export Chrome
+  trace-event JSON for Perfetto plus a markdown per-stage time table.
+  Disabled by default at near-zero cost.
+- :mod:`repro.obs.metrics` — the :data:`metrics` registry (counters /
+  gauges / histograms) and ``ingest_*`` bridges that pull in
+  ``PipelineStats`` counters and hardware-model outputs so algorithmic
+  and wall-clock views share one export path.
+- :mod:`repro.obs.log` — ``get_logger`` / ``configure`` for the CLI's
+  ``-v``/``-q`` leveled output.
+
+See README "Observability" for the workflow and DESIGN.md for the span
+name ↔ paper stage mapping.
+"""
+
+from .log import configure, get_logger
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    ingest_aggregation_trace,
+    ingest_dram_stats,
+    ingest_pipeline_stats,
+    ingest_stage_times,
+    metrics,
+)
+from .tracing import SpanRecord, Tracer, trace
+
+__all__ = [
+    "trace",
+    "Tracer",
+    "SpanRecord",
+    "metrics",
+    "MetricsRegistry",
+    "Histogram",
+    "ingest_pipeline_stats",
+    "ingest_stage_times",
+    "ingest_aggregation_trace",
+    "ingest_dram_stats",
+    "get_logger",
+    "configure",
+]

@@ -1,0 +1,59 @@
+"""Small leveled logger for the CLI and benches.
+
+A thin wrapper over :mod:`logging`, namespaced under the ``repro`` root
+logger.  Library code calls :func:`get_logger` and logs; nothing prints
+until an entry point calls :func:`configure`, which maps the CLI's
+``-v``/``-q`` flags onto levels and installs one plain-message stdout
+handler (figure-row tables keep printing directly — only narration and
+diagnostics go through here).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure", "verbosity_to_level"]
+
+_ROOT = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger namespaced under ``repro`` (``get_logger("cli")`` ->
+    ``repro.cli``); ``None`` or ``"repro"`` returns the root."""
+    if not name or name == _ROOT:
+        return logging.getLogger(_ROOT)
+    if name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map ``(-v count) - (-q count)`` to a logging level."""
+    if verbosity <= -2:
+        return logging.ERROR
+    if verbosity == -1:
+        return logging.WARNING
+    if verbosity == 0:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install a plain-message handler at the level ``verbosity`` implies.
+
+    Replaces any previous handler so repeated ``main()`` calls (tests,
+    REPLs) never double-print, and binds to the *current* ``sys.stdout``
+    so captured output ends up where the caller expects.
+    """
+    root = logging.getLogger(_ROOT)
+    root.setLevel(verbosity_to_level(verbosity))
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    root.addHandler(handler)
+    root.propagate = False
+    return root

@@ -1,0 +1,247 @@
+"""Hierarchical span tracer for the SLAM + hardware-model stack.
+
+``trace.span("tracking_fwd", frame=i)`` opens a nested, wall-clock
+(``perf_counter``) span with attached attributes.  The tracer is a small
+explicit state machine — no threads, no globals beyond the module
+singleton — and is **disabled by default**: a disabled ``span()`` call
+returns one shared no-op context manager, so instrumented hot paths pay a
+single attribute load + branch and allocate nothing persistent.
+
+Captured traces export two ways:
+
+- :meth:`Tracer.to_chrome_trace` / :meth:`Tracer.write_chrome_trace` —
+  Chrome trace-event JSON ("X" complete events with ``name/ph/ts/dur/
+  pid/tid``), loadable in Perfetto or ``chrome://tracing``;
+- :meth:`Tracer.stage_table` / :meth:`Tracer.format_summary` — a per-span
+  aggregate (count, total time, self time) rendered as a markdown table.
+
+Self time is total time minus the time spent in child spans, which is what
+the paper's stage breakdowns (Figs. 4/5/14) report per pipeline stage.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SpanRecord", "Tracer", "trace"]
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanRecord:
+    """One finished span: timing, nesting depth, and attributes."""
+
+    __slots__ = ("name", "start", "duration", "depth", "attrs", "self_time")
+
+    def __init__(self, name: str, start: float, duration: float, depth: int,
+                 attrs: Dict[str, Any], self_time: float):
+        self.name = name
+        self.start = start          # seconds since tracer epoch
+        self.duration = duration    # seconds
+        self.depth = depth          # 0 == root
+        self.attrs = attrs
+        self.self_time = self_time  # duration minus child-span time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanRecord({self.name!r}, depth={self.depth}, "
+                f"dur={self.duration * 1e3:.3f}ms)")
+
+
+class _LiveSpan:
+    """An open span; created only while the tracer is enabled."""
+
+    __slots__ = ("_tracer", "name", "attrs", "start", "depth", "child_time")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.depth = 0
+        self.child_time = 0.0
+
+    def set(self, **attrs) -> "_LiveSpan":
+        """Attach attributes after the span opened."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self._tracer._stack
+        self.depth = len(stack)
+        stack.append(self)
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = perf_counter()
+        tracer = self._tracer
+        duration = end - self.start
+        stack = tracer._stack
+        # Unwind defensively: a span abandoned by an exception deeper in
+        # the stack must not corrupt the parent chain.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1].child_time += duration
+        tracer._records.append(SpanRecord(
+            self.name, self.start - tracer._epoch, duration, self.depth,
+            self.attrs, duration - self.child_time))
+        return False
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute value into something ``json.dump`` accepts."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+class Tracer:
+    """Records nested wall-clock spans; disabled (and free) by default."""
+
+    def __init__(self, enabled: bool = False):
+        self._enabled = bool(enabled)
+        self._records: List[SpanRecord] = []
+        self._stack: List[_LiveSpan] = []
+        self._epoch = perf_counter()
+
+    # ---- lifecycle ----
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self, reset: bool = True) -> None:
+        if reset:
+            self.reset()
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        self._records = []
+        self._stack = []
+        self._epoch = perf_counter()
+
+    @contextmanager
+    def capture(self, reset: bool = True):
+        """Enable tracing for the duration of a ``with`` block."""
+        was_enabled = self._enabled
+        self.enable(reset=reset)
+        try:
+            yield self
+        finally:
+            self._enabled = was_enabled
+
+    # ---- recording ----
+
+    def span(self, name: str, **attrs):
+        """Open a span; a context manager (no-op while disabled)."""
+        if not self._enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, attrs)
+
+    @property
+    def records(self) -> List[SpanRecord]:
+        """Finished spans, in completion order."""
+        return list(self._records)
+
+    def span_names(self) -> List[str]:
+        """Distinct span names, in first-completion order."""
+        seen: Dict[str, None] = {}
+        for r in self._records:
+            seen.setdefault(r.name, None)
+        return list(seen)
+
+    # ---- export: Chrome trace-event JSON ----
+
+    def to_chrome_trace(self, pid: int = 0, tid: int = 0) -> List[Dict]:
+        """Complete ("X") trace events, start-ordered, times in µs."""
+        events = []
+        for r in sorted(self._records, key=lambda r: r.start):
+            event: Dict[str, Any] = {
+                "name": r.name,
+                "ph": "X",
+                "ts": round(r.start * 1e6, 3),
+                "dur": round(r.duration * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+            }
+            if r.attrs:
+                event["args"] = {k: _jsonable(v) for k, v in r.attrs.items()}
+            events.append(event)
+        return events
+
+    def write_chrome_trace(self, path: str, pid: int = 0, tid: int = 0) -> int:
+        """Write the event array to ``path``; returns the event count."""
+        events = self.to_chrome_trace(pid=pid, tid=tid)
+        with open(path, "w") as f:
+            json.dump(events, f, indent=1)
+        return len(events)
+
+    # ---- export: per-stage summary ----
+
+    def stage_table(self) -> List[Dict[str, Any]]:
+        """Aggregate spans by name: count, total seconds, self seconds."""
+        agg: Dict[str, Dict[str, Any]] = {}
+        for r in self._records:
+            row = agg.setdefault(r.name, {
+                "span": r.name, "count": 0, "total_s": 0.0, "self_s": 0.0,
+            })
+            row["count"] += 1
+            row["total_s"] += r.duration
+            row["self_s"] += r.self_time
+        return sorted(agg.values(), key=lambda row: -row["self_s"])
+
+    def format_summary(self, title: Optional[str] = None) -> str:
+        """Markdown table of the per-stage breakdown (self-time ordered)."""
+        rows = self.stage_table()
+        wall = sum(row["self_s"] for row in rows)
+        lines = []
+        if title:
+            lines.append(f"### {title}")
+        lines += [
+            "| span | count | total ms | self ms | self % |",
+            "|---|---:|---:|---:|---:|",
+        ]
+        for row in rows:
+            share = row["self_s"] / wall if wall > 0 else 0.0
+            lines.append(
+                f"| {row['span']} | {row['count']} "
+                f"| {row['total_s'] * 1e3:.2f} | {row['self_s'] * 1e3:.2f} "
+                f"| {share * 100.0:.1f} |")
+        if not rows:
+            lines.append("| (no spans recorded) | 0 | 0.00 | 0.00 | 0.0 |")
+        return "\n".join(lines)
+
+
+#: Process-wide default tracer; instrumented modules share this instance.
+trace = Tracer()

@@ -19,6 +19,7 @@ import numpy as np
 from ..gaussians.camera import Camera
 from ..gaussians.model import GaussianCloud
 from ..gaussians.se3 import point_jacobian_wrt_twist
+from ..obs import trace
 from .compositing import T_MIN, composite_backward
 from .projection import ProjectedGaussians
 from .rasterize import RenderResult
@@ -171,38 +172,41 @@ def backward_full(
         num_pixels=result.grid.width * result.grid.height,
     )
 
-    for tile, idx in enumerate(result.sorted_lists):
-        cache = result.caches[tile]
-        if cache is None or idx.size == 0:
-            continue
-        px = result.tile_pixels[tile]
-        u, v = px[:, 0], px[:, 1]
-        pair = composite_backward(
-            cache,
-            proj.mean2d[idx],
-            proj.sigma2d[idx],
-            proj.depth[idx],
-            proj.opacity[idx],
-            proj.color[idx],
-            d_color[v, u],
-            d_depth[v, u],
-            d_silhouette[v, u],
-        )
-        pg.accumulate(idx, pair)
-        # The tile backward re-runs alpha-checking against the cached
-        # tile-Gaussian sorted list (Sec. II-B).
-        stats.num_candidate_pairs += px.shape[0] * idx.size
-        stats.num_alpha_checks += px.shape[0] * idx.size
-        stats.num_contrib_pairs += pair.num_pairs_touched
-        stats.num_atomic_adds += pair.num_pairs_touched
-        serial_len = int((cache.gamma >= T_MIN).sum(axis=1).max())
-        stats.tile_work.append((idx.size, px.shape[0], serial_len))
-        stats.per_pixel_contribs.extend(
-            int(c) for c in cache.contrib.sum(axis=1))
-        for p in range(px.shape[0]):
-            stats.pixel_contrib_ids.append(
-                result.proj.source_index[idx[cache.contrib[p]]])
+    with trace.span("render.tile_bwd", pipeline="tile",
+                    gaussians=len(cloud)):
+        for tile, idx in enumerate(result.sorted_lists):
+            cache = result.caches[tile]
+            if cache is None or idx.size == 0:
+                continue
+            px = result.tile_pixels[tile]
+            u, v = px[:, 0], px[:, 1]
+            pair = composite_backward(
+                cache,
+                proj.mean2d[idx],
+                proj.sigma2d[idx],
+                proj.depth[idx],
+                proj.opacity[idx],
+                proj.color[idx],
+                d_color[v, u],
+                d_depth[v, u],
+                d_silhouette[v, u],
+            )
+            pg.accumulate(idx, pair)
+            # The tile backward re-runs alpha-checking against the cached
+            # tile-Gaussian sorted list (Sec. II-B).
+            stats.num_candidate_pairs += px.shape[0] * idx.size
+            stats.num_alpha_checks += px.shape[0] * idx.size
+            stats.num_contrib_pairs += pair.num_pairs_touched
+            stats.num_atomic_adds += pair.num_pairs_touched
+            serial_len = int((cache.gamma >= T_MIN).sum(axis=1).max())
+            stats.tile_work.append((idx.size, px.shape[0], serial_len))
+            stats.per_pixel_contribs.extend(
+                int(c) for c in cache.contrib.sum(axis=1))
+            for p in range(px.shape[0]):
+                stats.pixel_contrib_ids.append(
+                    result.proj.source_index[idx[cache.contrib[p]]])
 
-    grads = reproject_gradients(proj, cloud, camera, pg)
+        with trace.span("render.reproject"):
+            grads = reproject_gradients(proj, cloud, camera, pg)
     grads.stats = stats
     return grads

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..gaussians.camera import Camera
 from ..gaussians.model import GaussianCloud
+from ..obs import trace
 from .compositing import ALPHA_THRESHOLD, T_MIN, CompositeCache, composite_forward
 from .projection import ProjectedGaussians, project_gaussians
 from .sorting import sort_intersection_table
@@ -78,10 +79,12 @@ def render_full(
     intr = camera.intrinsics
     bg = DEFAULT_BACKGROUND if background is None else np.asarray(background, float)
 
-    proj = project_gaussians(cloud, camera)
-    grid = TileGrid.for_intrinsics(intr, tile_size)
-    table = build_intersection_table(proj, grid)
-    sorted_lists = sort_intersection_table(table, proj)
+    with trace.span("render.project"):
+        proj = project_gaussians(cloud, camera)
+    with trace.span("render.tile_sort"):
+        grid = TileGrid.for_intrinsics(intr, tile_size)
+        table = build_intersection_table(proj, grid)
+        sorted_lists = sort_intersection_table(table, proj)
 
     sample_mask = None
     if pixels is not None:
@@ -107,6 +110,30 @@ def render_full(
 
     caches: List[Optional[CompositeCache]] = []
     tile_pixels: List[np.ndarray] = []
+    with trace.span("render.composite", pipeline="tile",
+                    tiles=grid.num_tiles):
+        _composite_tiles(grid, sorted_lists, sample_mask, proj, bg,
+                         alpha_threshold, t_min, keep_cache, stats,
+                         color, depth, silhouette, caches, tile_pixels)
+
+    return RenderResult(
+        color=color,
+        depth=depth,
+        silhouette=silhouette,
+        proj=proj,
+        grid=grid,
+        sorted_lists=sorted_lists,
+        caches=caches,
+        tile_pixels=tile_pixels,
+        stats=stats,
+    )
+
+
+def _composite_tiles(grid, sorted_lists, sample_mask, proj, bg,
+                     alpha_threshold, t_min, keep_cache, stats,
+                     color, depth, silhouette, caches, tile_pixels):
+    """Per-tile compositing loop of :func:`render_full` (fills outputs
+    in place)."""
     for tile in range(grid.num_tiles):
         idx = sorted_lists[tile]
         px = grid.tile_pixels(tile)
@@ -153,15 +180,3 @@ def render_full(
         stats.num_contrib_pairs += int(contribs.sum())
         stats.per_pixel_contribs.extend(int(c) for c in contribs)
         caches.append(cache if keep_cache else None)
-
-    return RenderResult(
-        color=color,
-        depth=depth,
-        silhouette=silhouette,
-        proj=proj,
-        grid=grid,
-        sorted_lists=sorted_lists,
-        caches=caches,
-        tile_pixels=tile_pixels,
-        stats=stats,
-    )

@@ -28,7 +28,7 @@ Counter glossary
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Union
 
 import numpy as np
 
@@ -83,6 +83,41 @@ class PipelineStats:
         self.pixel_list_lengths.extend(other.pixel_list_lengths)
         self.pixel_contrib_ids.extend(other.pixel_contrib_ids)
         return self
+
+    def as_dict(self) -> Dict[str, Union[int, str]]:
+        """Scalar counters + pipeline identification, JSON-ready.
+
+        The per-item record lists (``per_pixel_contribs``, ``tile_work``,
+        ...) are deliberately excluded: they are replay streams for the
+        hardware models, not serializable headline numbers.
+        """
+        return {
+            "pipeline": self.pipeline,
+            "tile_size": int(self.tile_size),
+            "image_width": int(self.image_width),
+            "image_height": int(self.image_height),
+            "num_gaussians": int(self.num_gaussians),
+            "num_projected": int(self.num_projected),
+            "num_pixels": int(self.num_pixels),
+            "num_tile_pairs": int(self.num_tile_pairs),
+            "num_candidate_pairs": int(self.num_candidate_pairs),
+            "num_contrib_pairs": int(self.num_contrib_pairs),
+            "num_sort_keys": int(self.num_sort_keys),
+            "num_alpha_checks": int(self.num_alpha_checks),
+            "num_atomic_adds": int(self.num_atomic_adds),
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Derived per-pass rates (the quantities the figures report)."""
+        pixels = max(self.num_pixels, 1)
+        return {
+            "alpha_pass_rate": float(self.alpha_pass_rate),
+            "mean_contribs_per_pixel": float(self.mean_contribs_per_pixel),
+            "warp_utilization": float(self.warp_utilization()),
+            "candidate_pairs_per_pixel": self.num_candidate_pairs / pixels,
+            "sort_keys_per_pixel": self.num_sort_keys / pixels,
+            "atomic_adds_per_pixel": self.num_atomic_adds / pixels,
+        }
 
     @property
     def mean_contribs_per_pixel(self) -> float:

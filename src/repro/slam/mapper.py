@@ -25,6 +25,7 @@ from ..core.splatonic import Splatonic
 from ..gaussians.camera import Camera, Intrinsics
 from ..gaussians.init import seed_from_rgbd
 from ..gaussians.model import GaussianCloud
+from ..obs import trace
 from ..render.backward import backward_full
 from ..render.stats import PipelineStats
 from .config import AlgorithmConfig
@@ -121,13 +122,16 @@ class Mapper:
 
         # First forward pass (dense, once per mapping): Gamma_final map.
         camera = Camera(self.intrinsics, current.pose_c2w)
-        first = self.splatonic.render_full(cloud, camera, self.background,
-                                           keep_cache=False)
+        with trace.span("mapping_fwd", kind="first_pass",
+                        frame=current.index):
+            first = self.splatonic.render_full(cloud, camera, self.background,
+                                               keep_cache=False)
         fwd_stats.merge(first.stats)
         gamma_final = first.final_transmittance
 
         before = len(cloud)
-        cloud = self.densify(cloud, current, gamma_final, first.depth)
+        with trace.span("mapping.densify", frame=current.index):
+            cloud = self.densify(cloud, current, gamma_final, first.depth)
         num_seeded = len(cloud) - before
 
         # Mapping pixel sets, one per keyframe, drawn once per invocation.
@@ -169,29 +173,38 @@ class Mapper:
             if px is not None:
                 if px.shape[0] == 0:
                     continue
-                result = self.splatonic.render_sparse(
-                    cloud, cam, px, self.background)
-                ref_c = kf.color[px[:, 1], px[:, 0]]
-                ref_d = kf.depth[px[:, 1], px[:, 0]]
-                out = rgbd_loss(result.color, result.depth,
-                                result.silhouette, ref_c, ref_d,
-                                self.algo.mapping_loss, tracking=False)
-                grads = self.splatonic.backward_sparse(
-                    result, cloud, cam,
-                    out.d_color, out.d_depth, out.d_silhouette)
+                with trace.span("mapping_fwd", iteration=it,
+                                keyframe=kf.index):
+                    result = self.splatonic.render_sparse(
+                        cloud, cam, px, self.background)
+                    ref_c = kf.color[px[:, 1], px[:, 0]]
+                    ref_d = kf.depth[px[:, 1], px[:, 0]]
+                    out = rgbd_loss(result.color, result.depth,
+                                    result.silhouette, ref_c, ref_d,
+                                    self.algo.mapping_loss, tracking=False)
+                with trace.span("mapping_bwd", iteration=it,
+                                keyframe=kf.index):
+                    grads = self.splatonic.backward_sparse(
+                        result, cloud, cam,
+                        out.d_color, out.d_depth, out.d_silhouette)
             else:
-                result = self.splatonic.render_full(
-                    cloud, cam, self.background)
-                h, w = kf.depth.shape
-                out = rgbd_loss(
-                    result.color.reshape(-1, 3), result.depth.ravel(),
-                    result.silhouette.ravel(), kf.color.reshape(-1, 3),
-                    kf.depth.ravel(), self.algo.mapping_loss, tracking=False)
-                grads = backward_full(
-                    result, cloud, cam,
-                    out.d_color.reshape(h, w, 3),
-                    out.d_depth.reshape(h, w),
-                    out.d_silhouette.reshape(h, w))
+                with trace.span("mapping_fwd", iteration=it,
+                                keyframe=kf.index):
+                    result = self.splatonic.render_full(
+                        cloud, cam, self.background)
+                    h, w = kf.depth.shape
+                    out = rgbd_loss(
+                        result.color.reshape(-1, 3), result.depth.ravel(),
+                        result.silhouette.ravel(), kf.color.reshape(-1, 3),
+                        kf.depth.ravel(), self.algo.mapping_loss,
+                        tracking=False)
+                with trace.span("mapping_bwd", iteration=it,
+                                keyframe=kf.index):
+                    grads = backward_full(
+                        result, cloud, cam,
+                        out.d_color.reshape(h, w, 3),
+                        out.d_depth.reshape(h, w),
+                        out.d_silhouette.reshape(h, w))
             fwd_stats.merge(result.stats)
             bwd_stats.merge(grads.stats)
             loss_value = out.loss

@@ -22,6 +22,8 @@ from ..gaussians.model import GaussianCloud
 from ..gaussians.se3 import se3_inverse
 from ..metrics.ate import AteResult, ate_rmse
 from ..metrics.quality import depth_l1, psnr, ssim
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..render.rasterize import render_full
 from ..render.stats import PipelineStats
 from .config import AlgorithmConfig, get_algorithm
@@ -52,20 +54,35 @@ class SLAMResult:
 
     def eval_quality(self, sequence, every: int = 4,
                      background: Optional[np.ndarray] = None) -> Dict[str, float]:
-        """Render at the estimated poses and compare against the references."""
+        """Render at the estimated poses and compare against the references.
+
+        The returned dict always includes ``frames_evaluated``.  When the
+        sampling yields no frames at all (``num_frames == 0`` or a
+        non-positive ``every``), the scores are reported as 0.0 with a
+        metrics-registry warning instead of silently averaging empty
+        lists into NaN.
+        """
         bg = np.full(3, 0.05) if background is None else background
         scores_psnr, scores_ssim, scores_d = [], [], []
-        for i in range(0, self.num_frames, every):
-            cam = Camera(sequence.intrinsics, self.est_trajectory[i])
-            res = render_full(self.cloud, cam, bg, keep_cache=False)
-            frame = sequence[i]
-            scores_psnr.append(psnr(res.color, frame.color))
-            scores_ssim.append(ssim(res.color, frame.color))
-            scores_d.append(depth_l1(res.depth, frame.depth))
+        with trace.span("slam.eval_quality", every=every):
+            for i in range(0, self.num_frames, max(every, 1)):
+                cam = Camera(sequence.intrinsics, self.est_trajectory[i])
+                res = render_full(self.cloud, cam, bg, keep_cache=False)
+                frame = sequence[i]
+                scores_psnr.append(psnr(res.color, frame.color))
+                scores_ssim.append(ssim(res.color, frame.color))
+                scores_d.append(depth_l1(res.depth, frame.depth))
+        if not scores_psnr:
+            obs_metrics.warn(
+                f"eval_quality: no frames sampled (num_frames="
+                f"{self.num_frames}, every={every}); returning zero scores")
+            return {"psnr": 0.0, "ssim": 0.0, "depth_l1": 0.0,
+                    "frames_evaluated": 0}
         return {
             "psnr": float(np.mean(scores_psnr)),
             "ssim": float(np.mean(scores_ssim)),
             "depth_l1": float(np.mean(scores_d)),
+            "frames_evaluated": len(scores_psnr),
         }
 
 
@@ -111,43 +128,54 @@ class SLAMSystem:
         stage_stats = {s: PipelineStats() for s in self.STAGES}
 
         # ---- bootstrap on frame 0 (pose anchored to ground truth) ----
-        frame0 = sequence[0]
-        pose0 = frame0.gt_pose_c2w.copy()
-        cloud = self._bootstrap_cloud(intr, pose0, frame0)
-        kf0 = Keyframe(0, pose0, frame0.color, frame0.depth)
-        keyframes.maybe_add(0, pose0, frame0.color, frame0.depth)
-        boot = mapper.map_frame(cloud, kf0, [kf0])
-        cloud = boot.cloud
-        stage_stats["mapping_fwd"].merge(boot.forward_stats)
-        stage_stats["mapping_bwd"].merge(boot.backward_stats)
+        run_span = trace.span("slam.run", algorithm=self.algo.name,
+                              mode=self.mode, frames=n)
+        with run_span:
+            frame0 = sequence[0]
+            pose0 = frame0.gt_pose_c2w.copy()
+            with trace.span("slam.bootstrap"):
+                cloud = self._bootstrap_cloud(intr, pose0, frame0)
+                kf0 = Keyframe(0, pose0, frame0.color, frame0.depth)
+                keyframes.maybe_add(0, pose0, frame0.color, frame0.depth)
+                boot = mapper.map_frame(cloud, kf0, [kf0])
+            cloud = boot.cloud
+            stage_stats["mapping_fwd"].merge(boot.forward_stats)
+            stage_stats["mapping_bwd"].merge(boot.backward_stats)
 
-        est_poses = [pose0]
-        tracking_iterations: List[int] = []
-        mapping_invocations = 1
+            est_poses = [pose0]
+            tracking_iterations: List[int] = []
+            mapping_invocations = 1
 
-        for i in range(1, n):
-            frame = sequence[i]
-            init = self._constant_velocity_init(est_poses)
-            tr = tracker.track_frame(cloud, init, frame.color, frame.depth)
-            est_poses.append(tr.pose_c2w)
-            tracking_iterations.append(tr.iterations)
-            stage_stats["tracking_fwd"].merge(tr.forward_stats)
-            stage_stats["tracking_bwd"].merge(tr.backward_stats)
+            for i in range(1, n):
+                frame = sequence[i]
+                init = self._constant_velocity_init(est_poses)
+                with trace.span("slam.track", frame=i) as sp:
+                    tr = tracker.track_frame(cloud, init, frame.color,
+                                             frame.depth)
+                    sp.set(iterations=tr.iterations, converged=tr.converged)
+                est_poses.append(tr.pose_c2w)
+                tracking_iterations.append(tr.iterations)
+                stage_stats["tracking_fwd"].merge(tr.forward_stats)
+                stage_stats["tracking_bwd"].merge(tr.backward_stats)
 
-            keyframes.maybe_add(i, tr.pose_c2w, frame.color, frame.depth)
+                keyframes.maybe_add(i, tr.pose_c2w, frame.color, frame.depth)
 
-            if i % self.algo.map_every == 0:
-                current = Keyframe(i, tr.pose_c2w, frame.color, frame.depth)
-                if self.algo.keyframe_selection == "overlap":
-                    window = keyframes.select_by_overlap(
-                        current, intr, rng=self.splatonic.rng)
-                else:
-                    window = keyframes.select(current)
-                mp = mapper.map_frame(cloud, current, window)
-                cloud = mp.cloud
-                mapping_invocations += 1
-                stage_stats["mapping_fwd"].merge(mp.forward_stats)
-                stage_stats["mapping_bwd"].merge(mp.backward_stats)
+                if i % self.algo.map_every == 0:
+                    current = Keyframe(i, tr.pose_c2w, frame.color,
+                                       frame.depth)
+                    if self.algo.keyframe_selection == "overlap":
+                        window = keyframes.select_by_overlap(
+                            current, intr, rng=self.splatonic.rng)
+                    else:
+                        window = keyframes.select(current)
+                    with trace.span("slam.map", frame=i,
+                                    window=len(window)) as sp:
+                        mp = mapper.map_frame(cloud, current, window)
+                        sp.set(seeded=mp.num_seeded, pruned=mp.num_pruned)
+                    cloud = mp.cloud
+                    mapping_invocations += 1
+                    stage_stats["mapping_fwd"].merge(mp.forward_stats)
+                    stage_stats["mapping_bwd"].merge(mp.backward_stats)
 
         return SLAMResult(
             algorithm=self.algo.name,

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.splatonic import Splatonic
 from ..gaussians.camera import Camera, Intrinsics
+from ..obs import trace
 from ..gaussians.model import GaussianCloud
 from ..gaussians.se3 import se3_exp
 from ..render.backward import backward_full
@@ -97,28 +98,32 @@ class Tracker:
         for it in range(1, iters + 1):
             camera = Camera(self.intrinsics, pose)
             if self.mode == "sparse":
-                result = self.splatonic.render_sparse(
-                    cloud, camera, pixels, self.background)
-                out = rgbd_loss(result.color, result.depth,
-                                result.silhouette, ref_c, ref_d,
-                                self.algo.tracking_loss, tracking=True)
-                grads = self.splatonic.backward_sparse(
-                    result, cloud, camera,
-                    out.d_color, out.d_depth, out.d_silhouette)
+                with trace.span("tracking_fwd", iteration=it):
+                    result = self.splatonic.render_sparse(
+                        cloud, camera, pixels, self.background)
+                    out = rgbd_loss(result.color, result.depth,
+                                    result.silhouette, ref_c, ref_d,
+                                    self.algo.tracking_loss, tracking=True)
+                with trace.span("tracking_bwd", iteration=it):
+                    grads = self.splatonic.backward_sparse(
+                        result, cloud, camera,
+                        out.d_color, out.d_depth, out.d_silhouette)
             else:
-                result = self.splatonic.render_full(
-                    cloud, camera, self.background)
-                h, w = ref_depth.shape
-                out = rgbd_loss(
-                    result.color.reshape(-1, 3), result.depth.ravel(),
-                    result.silhouette.ravel(), ref_color.reshape(-1, 3),
-                    ref_depth.ravel(), self.algo.tracking_loss,
-                    tracking=True)
-                grads = backward_full(
-                    result, cloud, camera,
-                    out.d_color.reshape(h, w, 3),
-                    out.d_depth.reshape(h, w),
-                    out.d_silhouette.reshape(h, w))
+                with trace.span("tracking_fwd", iteration=it):
+                    result = self.splatonic.render_full(
+                        cloud, camera, self.background)
+                    h, w = ref_depth.shape
+                    out = rgbd_loss(
+                        result.color.reshape(-1, 3), result.depth.ravel(),
+                        result.silhouette.ravel(), ref_color.reshape(-1, 3),
+                        ref_depth.ravel(), self.algo.tracking_loss,
+                        tracking=True)
+                with trace.span("tracking_bwd", iteration=it):
+                    grads = backward_full(
+                        result, cloud, camera,
+                        out.d_color.reshape(h, w, 3),
+                        out.d_depth.reshape(h, w),
+                        out.d_silhouette.reshape(h, w))
             fwd_stats.merge(result.stats)
             bwd_stats.merge(grads.stats)
             loss_value = out.loss

@@ -1,5 +1,6 @@
 """CLI: argument parsing and end-to-end subcommand runs."""
 
+import json
 import os
 
 import numpy as np
@@ -25,6 +26,17 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fly"])
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.out == "trace.json"
+        assert args.frames == 4
+
+    def test_global_verbosity_flags(self):
+        args = build_parser().parse_args(["-vv", "info"])
+        assert args.verbose == 2 and args.quiet == 0
+        args = build_parser().parse_args(["-q", "info"])
+        assert args.quiet == 1
 
 
 class TestCommands:
@@ -73,6 +85,33 @@ class TestCommands:
         assert main(["render", "--cloud", cloud_path, "--out", out,
                      "--width", "32", "--height", "24"]) == 0
         assert os.path.exists(out)
+
+    def test_trace_writes_chrome_trace_and_table(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.json")
+        metrics_out = str(tmp_path / "metrics.json")
+        code = main(["trace", "--frames", "2", "--width", "32",
+                     "--height", "24", "--out", out,
+                     "--metrics-out", metrics_out])
+        assert code == 0
+        events = json.loads(open(out).read())
+        assert isinstance(events, list) and events
+        for ev in events:
+            assert set(ev) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+            assert ev["ph"] == "X"
+        names = {ev["name"] for ev in events}
+        printed = capsys.readouterr().out
+        for stage in ("tracking_fwd", "tracking_bwd", "mapping_fwd",
+                      "mapping_bwd"):
+            assert stage in names
+            assert stage in printed  # the per-stage summary table
+        exported = json.loads(open(metrics_out).read())
+        assert "tracking_fwd.num_pixels" in exported["counters"]
+
+    def test_quiet_silences_narration(self, tmp_path, capsys):
+        out = str(tmp_path / "v.ppm")
+        assert main(["-qq", "render", "--out", out, "--width", "32",
+                     "--height", "24"]) == 0
+        assert "wrote" not in capsys.readouterr().out.lower()
 
     @pytest.mark.slow
     def test_slam_end_to_end(self, tmp_path, capsys):
