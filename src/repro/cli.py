@@ -1,12 +1,19 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     repro slam --sequence room0 --out results/      # run SLAM, save outputs
     repro render --scene-seed 7 --out view.ppm      # render a scene
     repro figure fig22                              # regenerate one figure
     repro trace --frames 4 --out trace.json         # traced proxy SLAM run
+    repro bench run|compare|attrib                  # perf-trajectory suite
     repro info                                      # presets + hw summary
+
+``repro bench`` is the perf-trajectory harness: ``run`` executes the
+benchmark suite and writes ``BENCH_trajectory.json``, ``compare`` gates
+a trajectory against a committed ``BENCH_baseline.json`` (non-zero exit
+on regression — wire it into CI), and ``attrib`` prints the per-hardware-
+unit cycle-attribution table with an optional flamegraph export.
 
 Global flags: ``-v``/``-q`` adjust log verbosity and ``--trace PATH``
 captures a Chrome trace of *any* subcommand (open it in Perfetto or
@@ -97,18 +104,66 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Chrome trace-event JSON output path")
     p_trace.add_argument("--metrics-out", default=None,
                          help="optional metrics-registry JSON output path")
+    p_trace.add_argument("--json", action="store_true",
+                         help="print the stage table as key-sorted JSON "
+                              "instead of markdown")
+
+    p_bench = sub.add_parser(
+        "bench", help="perf-trajectory suite: run / compare / attrib")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    b_run = bench_sub.add_parser(
+        "run", help="execute the benchmark suite and write a trajectory")
+    b_run.add_argument("--size", default="small",
+                       help="suite size (tiny/small/default)")
+    b_run.add_argument("--reps", type=int, default=3,
+                       help="repetitions per scenario (median + MAD)")
+    b_run.add_argument("--scenarios", default=None,
+                       help="comma-separated scenario subset (default: all)")
+    b_run.add_argument("--sequence", default="room0")
+    b_run.add_argument("--seed", type=int, default=0)
+    b_run.add_argument("--out", default="BENCH_trajectory.json",
+                       help="trajectory JSON output path")
+
+    b_cmp = bench_sub.add_parser(
+        "compare", help="gate a trajectory against a committed baseline "
+                        "(exit 1 on regression, 2 on structural errors)")
+    b_cmp.add_argument("--baseline", default="BENCH_baseline.json")
+    b_cmp.add_argument("--current", default="BENCH_trajectory.json")
+    b_cmp.add_argument("--counters-only", action="store_true",
+                       help="gate only the exact workload counters "
+                            "(machine-portable; use in CI)")
+    b_cmp.add_argument("--no-wall", action="store_true",
+                       help="skip the noise-aware wall-time comparison")
+    b_cmp.add_argument("--json-out", default=None,
+                       help="optional machine-readable report output path")
+
+    b_att = bench_sub.add_parser(
+        "attrib", help="per-hardware-unit cycle attribution of one "
+                       "scenario workload")
+    b_att.add_argument("--scenario", default="tracking",
+                       choices=["tracking", "mapping"])
+    b_att.add_argument("--size", default="small",
+                       help="suite size (tiny/small/default)")
+    b_att.add_argument("--sequence", default="room0")
+    b_att.add_argument("--seed", type=int, default=0)
+    b_att.add_argument("--out", default=None,
+                       help="optional attribution-report JSON output path")
+    b_att.add_argument("--trace-out", dest="unit_trace_out", default=None,
+                       help="optional per-unit Chrome-trace/flamegraph "
+                            "output path")
 
     sub.add_parser("info", help="print presets and hardware configuration")
     return parser
 
 
-def _make_sequence(args):
+def _make_sequence(args, note=None):
     from .datasets import make_replica_sequence, make_tum_sequence
 
     maker = (make_replica_sequence if args.dataset == "replica"
              else make_tum_sequence)
-    log.info(f"building {args.dataset}/{args.sequence} "
-             f"({args.frames} frames, {args.width}x{args.height}) ...")
+    (note or log.info)(f"building {args.dataset}/{args.sequence} "
+                       f"({args.frames} frames, {args.width}x{args.height}) ...")
     return maker(args.sequence, n_frames=args.frames, width=args.width,
                  height=args.height, surface_density=10)
 
@@ -228,16 +283,21 @@ def _cmd_figure(args) -> int:
 
 def _cmd_trace(args) -> int:
     """Run a proxy SLAM sequence under the tracer and report per stage."""
+    import json
+
     from .core import SplatonicConfig
     from .obs import ingest_pipeline_stats, metrics
     from .slam import SLAMSystem
 
-    sequence = _make_sequence(args)
+    # In --json mode keep stdout parseable at default verbosity.
+    note = log.debug if args.json else log.info
+
+    sequence = _make_sequence(args, note=note)
     system = SLAMSystem(
         args.algorithm, mode=args.mode,
         splatonic_config=SplatonicConfig(tracking_tile=args.tracking_tile),
         seed=args.seed)
-    log.info(f"tracing {args.algorithm} ({args.mode}) ...")
+    note(f"tracing {args.algorithm} ({args.mode}) ...")
     with trace.capture():
         result = system.run(sequence)
 
@@ -245,14 +305,116 @@ def _cmd_trace(args) -> int:
         ingest_pipeline_stats(stage, result.stage_stats[stage])
 
     n_events = trace.write_chrome_trace(args.out)
-    print(trace.format_summary(
-        title=f"stage times — {args.algorithm}/{args.mode}, "
-              f"{result.num_frames} frames"))
-    log.info(f"wrote {n_events} trace events to {args.out} "
-             f"(load in Perfetto / chrome://tracing)")
+    if args.json:
+        payload = {
+            "scenario": {
+                "algorithm": args.algorithm,
+                "mode": args.mode,
+                "sequence": args.sequence,
+                "frames": result.num_frames,
+                "width": args.width,
+                "height": args.height,
+            },
+            "stages": [
+                {"span": row["span"], "count": row["count"],
+                 "total_s": round(row["total_s"], 6),
+                 "self_s": round(row["self_s"], 6)}
+                for row in trace.stage_table()
+            ],
+            "trace_events": n_events,
+            "trace_path": args.out,
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(trace.format_summary(
+            title=f"stage times — {args.algorithm}/{args.mode}, "
+                  f"{result.num_frames} frames"))
+    note(f"wrote {n_events} trace events to {args.out} "
+         f"(load in Perfetto / chrome://tracing)")
     if args.metrics_out:
         metrics.write_json(args.metrics_out)
-        log.info(f"wrote metrics registry to {args.metrics_out}")
+        note(f"wrote metrics registry to {args.metrics_out}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    handlers = {
+        "run": _cmd_bench_run,
+        "compare": _cmd_bench_compare,
+        "attrib": _cmd_bench_attrib,
+    }
+    return handlers[args.bench_command](args)
+
+
+def _cmd_bench_run(args) -> int:
+    from .obs import bench as obs_bench
+
+    cfg = obs_bench.SuiteConfig(size=args.size, repetitions=args.reps,
+                                sequence=args.sequence, seed=args.seed)
+    names = ([s.strip() for s in args.scenarios.split(",") if s.strip()]
+             if args.scenarios else None)
+    payload = obs_bench.run_suite(cfg, scenarios=names)
+    obs_bench.write_trajectory(payload, args.out)
+    log.info(f"wrote {len(payload['scenarios'])} scenarios to {args.out} "
+             f"(schema v{payload['schema_version']})")
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from .obs import regress
+
+    sections = list(regress.DEFAULT_SECTIONS)
+    if args.counters_only:
+        sections = ["counters"]
+    elif args.no_wall:
+        sections = [s for s in sections if s != "wall"]
+    report = regress.compare_files(args.current, args.baseline,
+                                   sections=sections)
+    print(report.format_markdown())
+    if args.json_out:
+        report.write_json(args.json_out)
+        log.info(f"wrote comparison report to {args.json_out}")
+    return report.exit_code
+
+
+def _cmd_bench_attrib(args) -> int:
+    from .bench.scenarios import (
+        build_bundle,
+        mapping_workloads,
+        tracking_workloads,
+    )
+    from .obs import attrib as obs_attrib
+    from .obs.bench import SIZES
+
+    if args.size not in SIZES:
+        raise SystemExit(
+            f"unknown size {args.size!r}; choose from {sorted(SIZES)}")
+    spec = SIZES[args.size]
+    log.info(f"building {args.scenario} workload "
+             f"({spec.width}x{spec.height}, {spec.frames} frames) ...")
+    # Capture the workload measurement so the report can fold measured
+    # wall self-times per paper stage next to the modeled cycles.
+    with trace.capture():
+        bundle = build_bundle(args.sequence, width=spec.width,
+                              height=spec.height, n_frames=spec.frames,
+                              seed=args.seed)
+        if args.scenario == "tracking":
+            workloads = tracking_workloads(bundle, tile=spec.tracking_tile,
+                                           seed=args.seed)
+        else:
+            workloads = mapping_workloads(bundle, tile=spec.mapping_tile,
+                                          seed=args.seed)
+    report = obs_attrib.attribute_workload(
+        workloads["pixel"], scenario=f"{args.scenario}/{args.size}",
+        tracer=trace)
+    print(report.format_table())
+    if args.out:
+        report.write_json(args.out)
+        log.info(f"wrote attribution report to {args.out}")
+    if args.unit_trace_out:
+        n_events = report.write_chrome_trace(args.unit_trace_out)
+        log.info(f"wrote {n_events} per-unit trace events to "
+                 f"{args.unit_trace_out}")
     return 0
 
 
@@ -289,11 +451,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "render": _cmd_render,
         "figure": _cmd_figure,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
         "info": _cmd_info,
     }
-    # Global --trace: capture the whole subcommand (the `trace` subcommand
-    # manages its own capture window and output path).
-    capture_path = args.trace_out if args.command != "trace" else None
+    # Global --trace: capture the whole subcommand (the `trace` and `bench`
+    # subcommands manage their own capture windows and output paths).
+    capture_path = (args.trace_out
+                    if args.command not in ("trace", "bench") else None)
     if capture_path:
         trace.enable(reset=True)
     try:

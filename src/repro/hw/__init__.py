@@ -21,7 +21,7 @@ from .lut import ExpLUT
 from .pipeline import CycleBreakdown, StageLoad, pipelined_cycles, sequential_cycles
 from .scaling import NODES, scale_area, scale_delay, scale_energy
 from .sorting_unit import HierarchicalSorter, SortingUnitConfig
-from .splatonic_accel import SplatonicAccelerator
+from .splatonic_accel import SplatonicAccelerator, StageModel
 from .splatonic_accel import SplatonicConfig as SplatonicHwConfig
 from .units import AccelReport
 from .workload import Workload, measure_iteration
@@ -60,6 +60,7 @@ __all__ = [
     "scale_delay",
     "scale_energy",
     "SplatonicAccelerator",
+    "StageModel",
     "SplatonicHwConfig",
     "AccelReport",
     "Workload",

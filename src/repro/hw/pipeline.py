@@ -49,6 +49,14 @@ class CycleBreakdown:
             return 0.0
         return self.stages.get(name, 0.0) / denom
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view: total, key-sorted stage cycles, bottleneck."""
+        return {
+            "total": float(self.total),
+            "stages": {k: float(v) for k, v in sorted(self.stages.items())},
+            "bottleneck": self.bottleneck,
+        }
+
 
 def pipelined_cycles(stages: List[StageLoad],
                      fill_latency: float = 0.0) -> CycleBreakdown:

@@ -28,7 +28,7 @@ import numpy as np
 from ..render.stats import PipelineStats
 from .aggregation import AggregationConfig, AggregationUnit
 from .energy import ACCEL_OPS, EnergyLedger, OpEnergies
-from .pipeline import StageLoad, pipelined_cycles
+from .pipeline import CycleBreakdown, StageLoad, pipelined_cycles
 from .sorting_unit import HierarchicalSorter, SortingUnitConfig
 from .units import (
     ACCEL_CLOCK_HZ,
@@ -39,7 +39,7 @@ from .units import (
 )
 from .workload import Workload
 
-__all__ = ["SplatonicConfig", "SplatonicAccelerator"]
+__all__ = ["SplatonicConfig", "SplatonicAccelerator", "StageModel"]
 
 # Fixed-function op counts (FMA equivalents) per work item.
 PROJ_FLOPS = 60
@@ -85,6 +85,24 @@ class SplatonicConfig:
     @property
     def reverse_pairs_per_cycle(self) -> int:
         return self.raster_engines * self.reverse_units_per_engine
+
+
+@dataclass(frozen=True)
+class StageModel:
+    """Per-stage busy cycles + off-chip traffic of one pass pair.
+
+    The breakdowns are *pre-roofline*: they carry each stage's busy
+    cycles (total = slowest stage + fill latency); the DRAM byte counts
+    are applied as a separate bandwidth roofline by
+    :meth:`SplatonicAccelerator.iteration_report`.  Cycle-attribution
+    reports consume this directly so their bottleneck tables agree with
+    :attr:`repro.hw.pipeline.CycleBreakdown.bottleneck` by construction.
+    """
+
+    forward: "CycleBreakdown"
+    backward: "CycleBreakdown"
+    forward_dram_bytes: float
+    backward_dram_bytes: float
 
 
 class SplatonicAccelerator:
@@ -160,13 +178,12 @@ class SplatonicAccelerator:
 
     # ---- public API ----
 
-    def iteration_report(self, workload: Workload) -> AccelReport:
-        """Latency/energy of one average training iteration."""
+    def stage_model(self, workload: Workload) -> StageModel:
+        """Per-stage busy-cycle breakdowns + DRAM bytes of one iteration."""
         if workload.pipeline != "pixel":
             raise ValueError(
                 "SPLATONIC executes the pixel-based pipeline; measure the "
                 "workload with mode='pixel'")
-        it = max(workload.iterations, 1)
         fwd, bwd = workload.fwd, workload.bwd
         cfg = self.config
 
@@ -199,6 +216,18 @@ class SplatonicAccelerator:
             StageLoad("aggregation", agg_cycles),
             StageLoad("reprojection", reproj),
         ], fill_latency=PIPELINE_FILL_CYCLES)
+        return StageModel(forward=fwd_break, backward=bwd_break,
+                          forward_dram_bytes=fwd_dram,
+                          backward_dram_bytes=bwd_dram)
+
+    def iteration_report(self, workload: Workload) -> AccelReport:
+        """Latency/energy of one average training iteration."""
+        model = self.stage_model(workload)
+        it = max(workload.iterations, 1)
+        cfg = self.config
+        fwd_break, bwd_break = model.forward, model.backward
+        fwd_dram, bwd_dram = (model.forward_dram_bytes,
+                              model.backward_dram_bytes)
 
         fwd_cycles = max(fwd_break.total, fwd_dram / DRAM_BYTES_PER_CYCLE)
         bwd_cycles = max(bwd_break.total, bwd_dram / DRAM_BYTES_PER_CYCLE)
@@ -221,7 +250,7 @@ class SplatonicAccelerator:
             notes={
                 "fwd_dram_bytes": fwd_dram / it,
                 "bwd_dram_bytes": bwd_dram / it,
-                "aggregation_cycles": agg_cycles / it,
+                "aggregation_cycles": bwd_break.stages["aggregation"] / it,
             },
         )
 

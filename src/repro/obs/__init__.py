@@ -1,7 +1,10 @@
-"""Observability: hierarchical tracing, metrics, and leveled logging.
+"""Observability: tracing, metrics, benchmarking, and regression gating.
 
-Three cooperating pieces, all stdlib-only (no imports from the rest of
-the package, so any layer may instrument itself without cycles):
+Six cooperating pieces.  The core three are stdlib-only at import time
+(no imports from the rest of the package, so any layer may instrument
+itself without cycles); the perf-trajectory trio keeps its module-level
+imports stdlib-only too and pulls in the scenario/hardware layers lazily
+inside functions:
 
 - :mod:`repro.obs.tracing` — the :data:`trace` span tracer.  Wrap stages
   in ``with trace.span("tracking_fwd", frame=i):``; export Chrome
@@ -13,11 +16,24 @@ the package, so any layer may instrument itself without cycles):
   and wall-clock views share one export path.
 - :mod:`repro.obs.log` — ``get_logger`` / ``configure`` for the CLI's
   ``-v``/``-q`` leveled output.
+- :mod:`repro.obs.bench` — the statistical benchmark runner: executes
+  the scenario suite under the tracer with N repetitions and emits the
+  versioned ``BENCH_trajectory.json`` payload (median + MAD wall times,
+  exact workload counters, modeled cycles, environment fingerprint).
+- :mod:`repro.obs.regress` — the regression gate: diffs a trajectory
+  against a committed baseline with per-kind tolerances (exact for
+  counters, tiny-rel for model floats, noise-aware for wall times).
+- :mod:`repro.obs.attrib` — cycle attribution: maps modeled cycles and
+  traced wall time onto the paper's pipeline stages per hardware unit,
+  with bottleneck tables and a per-unit Chrome-trace export.
 
-See README "Observability" for the workflow and DESIGN.md for the span
-name ↔ paper stage mapping.
+See README "Observability" and EXPERIMENTS.md "Perf trajectory" for the
+workflow, and DESIGN.md for the span name ↔ paper stage mapping.
 """
 
+from . import attrib, bench, regress
+from .attrib import AttributionReport, attribute_workload
+from .bench import SuiteConfig, run_suite, write_trajectory
 from .log import configure, get_logger
 from .metrics import (
     Histogram,
@@ -28,6 +44,7 @@ from .metrics import (
     ingest_stage_times,
     metrics,
 )
+from .regress import RegressionReport, TolerancePolicy, compare_files, compare_runs
 from .tracing import SpanRecord, Tracer, trace
 
 __all__ = [
@@ -43,4 +60,16 @@ __all__ = [
     "ingest_dram_stats",
     "get_logger",
     "configure",
+    "bench",
+    "regress",
+    "attrib",
+    "SuiteConfig",
+    "run_suite",
+    "write_trajectory",
+    "RegressionReport",
+    "TolerancePolicy",
+    "compare_runs",
+    "compare_files",
+    "AttributionReport",
+    "attribute_workload",
 ]

@@ -1,0 +1,263 @@
+"""Cycle attribution: where did the modeled cycles (and wall time) go?
+
+Maps the SPLATONIC accelerator's modeled busy cycles
+(:meth:`repro.hw.SplatonicAccelerator.stage_model`) onto the paper's
+pipeline stages *per hardware unit* — projection + α-filter units,
+hierarchical sorters, raster engines (render/reverse), aggregation unit
+— and renders:
+
+- a per-unit bottleneck table (markdown), whose per-pass bottleneck
+  agrees with :attr:`repro.hw.pipeline.CycleBreakdown.bottleneck` by
+  construction;
+- a Chrome-trace/flamegraph export (one synthetic thread per hardware
+  unit, durations = modeled busy time at the accelerator clock) loadable
+  in Perfetto / ``chrome://tracing``;
+- optionally, a wall-time view that folds the span tracer's measured
+  self-times onto the same paper stages so the python implementation and
+  the modeled hardware can be read side by side.
+
+Module-level imports stay stdlib-only; the hardware models are imported
+lazily inside :func:`attribute_workload`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .tracing import Tracer, trace
+
+__all__ = [
+    "STAGE_UNITS",
+    "SPAN_STAGES",
+    "AttributionRow",
+    "AttributionReport",
+    "attribute_workload",
+    "wall_stage_rows",
+]
+
+#: Paper pipeline stage -> hardware unit executing it (Sec. V, Fig. 15).
+STAGE_UNITS: Dict[str, str] = {
+    "projection": "projection + alpha-filter units",
+    "sorting": "hierarchical sorting units",
+    "rasterization": "raster engines (render units)",
+    "reverse_rasterization": "raster engines (reverse units)",
+    "aggregation": "aggregation unit",
+    "reprojection": "projection + alpha-filter units",
+}
+
+#: Traced span name -> paper pipeline stage (for the wall-time view).
+SPAN_STAGES: Dict[str, str] = {
+    "render.project": "projection",
+    "render.alpha_check": "projection",
+    "render.tile_sort": "sorting",
+    "render.composite": "rasterization",
+    "render.pixel_bwd": "reverse_rasterization",
+    "render.tile_bwd": "reverse_rasterization",
+    "render.reproject": "reprojection",
+}
+
+
+@dataclass(frozen=True)
+class AttributionRow:
+    """Modeled cycles of one pipeline stage on its hardware unit."""
+
+    pass_name: str          # "forward" | "backward"
+    stage: str
+    unit: str
+    cycles: float
+    share: float            # of the pass's summed stage busy cycles
+    bottleneck: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "pass": self.pass_name,
+            "stage": self.stage,
+            "unit": self.unit,
+            "cycles": float(self.cycles),
+            "share": float(self.share),
+            "bottleneck": self.bottleneck,
+        }
+
+
+@dataclass
+class AttributionReport:
+    """Per-unit cycle attribution of one workload on the accelerator."""
+
+    scenario: str
+    clock_hz: float
+    rows: List[AttributionRow]
+    #: Pass totals: pipelined cycles (incl. fill) and DRAM-roofline cycles.
+    totals: Dict[str, float]
+    wall_stages: List[Dict[str, Any]] = field(default_factory=list)
+
+    # ---- queries ----
+
+    def rows_for(self, pass_name: str) -> List[AttributionRow]:
+        return [r for r in self.rows if r.pass_name == pass_name]
+
+    def bottleneck(self, pass_name: str) -> str:
+        """Stage with the most busy cycles in ``pass_name``."""
+        rows = self.rows_for(pass_name)
+        if not rows:
+            return ""
+        return max(rows, key=lambda r: r.cycles).stage
+
+    # ---- renderings ----
+
+    def format_table(self) -> str:
+        """Markdown bottleneck table, one row per (pass, stage)."""
+        lines = [
+            f"### cycle attribution — {self.scenario} "
+            f"(modeled @ {self.clock_hz / 1e6:.0f} MHz)",
+            "| pass | stage | hardware unit | cycles | share % "
+            "| bottleneck |",
+            "|---|---|---|---:|---:|---|",
+        ]
+        for pass_name in ("forward", "backward"):
+            for r in sorted(self.rows_for(pass_name),
+                            key=lambda r: -r.cycles):
+                mark = "<-- bottleneck" if r.bottleneck else ""
+                lines.append(
+                    f"| {pass_name} | {r.stage} | {r.unit} "
+                    f"| {r.cycles:.0f} | {r.share * 100.0:.1f} | {mark} |")
+        for pass_name in ("forward", "backward"):
+            pipe = self.totals.get(f"{pass_name}_cycles", 0.0)
+            dram = self.totals.get(f"{pass_name}_dram_cycles", 0.0)
+            bound = "DRAM" if dram > pipe else "compute"
+            lines.append(
+                f"- {pass_name}: {pipe:.0f} pipelined cycles (incl. fill), "
+                f"{dram:.0f} DRAM-roofline cycles -> {bound}-bound")
+        if self.wall_stages:
+            lines += [
+                "",
+                "### measured wall time by stage (traced python run)",
+                "| stage | self s | share % |",
+                "|---|---:|---:|",
+            ]
+            for row in self.wall_stages:
+                lines.append(f"| {row['stage']} | {row['self_s']:.4f} "
+                             f"| {row['share'] * 100.0:.1f} |")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "clock_hz": float(self.clock_hz),
+            "rows": [r.as_dict() for r in self.rows],
+            "totals": {k: float(v) for k, v in sorted(self.totals.items())},
+            "bottlenecks": {p: self.bottleneck(p)
+                            for p in ("forward", "backward")},
+            "wall_stages": list(self.wall_stages),
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=1, sort_keys=True)
+            f.write("\n")
+
+    def to_chrome_trace(self, pid: int = 0) -> List[Dict[str, Any]]:
+        """Flamegraph view: one thread per hardware unit, µs = cycles/clock.
+
+        Stages of a pass overlap in the pipelined hardware, so each is
+        drawn from its pass's start on its own unit thread; the backward
+        pass starts where the forward pipeline (incl. fill) ends.
+        """
+        us_per_cycle = 1e6 / self.clock_hz
+        units = sorted({r.unit for r in self.rows})
+        tids = {unit: i for i, unit in enumerate(units)}
+        events: List[Dict[str, Any]] = [
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": unit}}
+            for unit, tid in tids.items()
+        ]
+        offset = 0.0
+        for pass_name in ("forward", "backward"):
+            for r in sorted(self.rows_for(pass_name), key=lambda r: r.stage):
+                events.append({
+                    "name": f"{pass_name}.{r.stage}",
+                    "ph": "X",
+                    "ts": round(offset, 3),
+                    "dur": round(r.cycles * us_per_cycle, 3),
+                    "pid": pid,
+                    "tid": tids[r.unit],
+                    "args": {
+                        "cycles": round(r.cycles, 1),
+                        "share": round(r.share, 4),
+                        "bottleneck": r.bottleneck,
+                    },
+                })
+            offset += (self.totals.get(f"{pass_name}_cycles", 0.0)
+                       * us_per_cycle)
+        return events
+
+    def write_chrome_trace(self, path: str, pid: int = 0) -> int:
+        events = self.to_chrome_trace(pid=pid)
+        with open(path, "w") as f:
+            json.dump(events, f, indent=1, sort_keys=True)
+            f.write("\n")
+        return len(events)
+
+
+def attribute_workload(workload, accel=None,
+                       scenario: str = "workload",
+                       tracer: Optional[Tracer] = None) -> AttributionReport:
+    """Attribute one pixel-pipeline workload's modeled cycles per unit.
+
+    ``accel`` defaults to a stock :class:`~repro.hw.SplatonicAccelerator`.
+    Pass ``tracer`` (usually ``repro.obs.trace`` after a captured run) to
+    fold measured wall self-times per paper stage into the report.
+    """
+    if accel is None:
+        from ..hw.splatonic_accel import SplatonicAccelerator
+        accel = SplatonicAccelerator()
+    from ..hw.units import DRAM_BYTES_PER_CYCLE
+
+    model = accel.stage_model(workload)
+    rows: List[AttributionRow] = []
+    for pass_name, breakdown in (("forward", model.forward),
+                                 ("backward", model.backward)):
+        hot = breakdown.bottleneck
+        for stage, cycles in breakdown.stages.items():
+            rows.append(AttributionRow(
+                pass_name=pass_name,
+                stage=stage,
+                unit=STAGE_UNITS.get(stage, "(unmapped unit)"),
+                cycles=float(cycles),
+                share=breakdown.share(stage),
+                bottleneck=(stage == hot),
+            ))
+    totals = {
+        "forward_cycles": float(model.forward.total),
+        "backward_cycles": float(model.backward.total),
+        "forward_dram_cycles":
+            model.forward_dram_bytes / DRAM_BYTES_PER_CYCLE,
+        "backward_dram_cycles":
+            model.backward_dram_bytes / DRAM_BYTES_PER_CYCLE,
+    }
+    wall = wall_stage_rows(tracer) if tracer is not None else []
+    return AttributionReport(scenario=scenario,
+                             clock_hz=accel.config.clock_hz,
+                             rows=rows, totals=totals, wall_stages=wall)
+
+
+def wall_stage_rows(tracer: Optional[Tracer] = None) -> List[Dict[str, Any]]:
+    """Fold a tracer's measured span self-times onto the paper stages.
+
+    Spans without a stage mapping land in ``(other)`` so the shares are
+    honest about untracked time.  Returns rows sorted by self time.
+    """
+    t = tracer or trace
+    per_stage: Dict[str, float] = {}
+    for row in t.stage_table():
+        stage = SPAN_STAGES.get(row["span"], "(other)")
+        per_stage[stage] = per_stage.get(stage, 0.0) + row["self_s"]
+    total = sum(per_stage.values())
+    rows = [
+        {"stage": stage, "self_s": round(seconds, 6),
+         "share": (seconds / total) if total > 0 else 0.0}
+        for stage, seconds in per_stage.items()
+    ]
+    rows.sort(key=lambda r: -r["self_s"])
+    return rows

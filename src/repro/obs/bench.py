@@ -1,0 +1,410 @@
+"""Benchmark orchestration: the curated perf-trajectory suite.
+
+``run_suite`` executes a registry of scenarios — tracking / mapping
+iteration workloads, a proxy SLAM end-to-end run, and hardware-unit
+replays — under the span tracer, repeating each one ``repetitions``
+times, and emits a canonical, schema-versioned ``BENCH_trajectory.json``:
+
+- **counters** — deterministic workload counters (pixel–Gaussian pairs,
+  sort keys, atomic adds, ...).  Exact across runs on the same code; the
+  regression gate (:mod:`repro.obs.regress`) diffs them bit-for-bit.
+- **model**   — modeled latencies/cycles/bytes from the hardware models.
+  Deterministic functions of the counters; compared with a tiny relative
+  tolerance.  All model metrics are oriented so *smaller is better*.
+- **info**    — contextual rates (hit rates, utilization, speedups) that
+  are reported but never gated.
+- **wall**    — median + MAD wall-clock seconds over the repetitions,
+  compared with a noise-aware tolerance.
+
+The file also carries an environment fingerprint (python/numpy versions,
+platform, CPU count) so a trajectory can be interpreted — and wall-time
+comparisons distrusted — across machines.
+
+This module keeps its imports stdlib-only at module level; scenario
+bodies import the rest of the package lazily, so ``repro.obs`` stays
+cycle-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .log import get_logger
+from .tracing import trace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SIZES",
+    "SCENARIOS",
+    "SizeSpec",
+    "SuiteConfig",
+    "Scenario",
+    "scenario",
+    "median_mad",
+    "environment_fingerprint",
+    "run_suite",
+    "write_trajectory",
+]
+
+log = get_logger("obs.bench")
+
+#: Version of the ``BENCH_trajectory.json`` layout.  Bump on any breaking
+#: change to the payload structure; the comparator refuses mismatches.
+SCHEMA_VERSION = 1
+
+#: Headline PipelineStats counters recorded per pass.
+_PASS_COUNTERS = (
+    "num_projected",
+    "num_pixels",
+    "num_candidate_pairs",
+    "num_contrib_pairs",
+    "num_sort_keys",
+    "num_alpha_checks",
+    "num_atomic_adds",
+)
+
+
+@dataclass(frozen=True)
+class SizeSpec:
+    """Proxy-scenario dimensions for one suite size."""
+
+    width: int
+    height: int
+    frames: int
+    tracking_tile: int
+    mapping_tile: int
+
+
+#: Suite sizes.  ``small`` is the CI point; ``tiny`` exists for tests.
+SIZES: Dict[str, SizeSpec] = {
+    "tiny": SizeSpec(32, 24, 6, 8, 4),
+    "small": SizeSpec(48, 36, 6, 8, 4),
+    "default": SizeSpec(96, 64, 10, 16, 4),
+}
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """One suite invocation: scenario dimensions + repetition policy."""
+
+    size: str = "small"
+    repetitions: int = 3
+    sequence: str = "room0"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size not in SIZES:
+            raise ValueError(
+                f"unknown size {self.size!r}; choose from {sorted(SIZES)}")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+
+    @property
+    def spec(self) -> SizeSpec:
+        return SIZES[self.size]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, repeatable measurement.
+
+    ``run(config)`` returns the deterministic sections —
+    ``{"counters": {...}, "model": {...}, "info": {...}}`` — while the
+    suite runner adds wall-clock statistics around it.
+    """
+
+    name: str
+    description: str
+    run: Callable[[SuiteConfig], Dict[str, Dict[str, float]]]
+
+
+#: Registry of curated scenarios, in registration (execution) order.
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def scenario(name: str, description: str):
+    """Register a suite scenario (decorator)."""
+    def deco(fn):
+        SCENARIOS[name] = Scenario(name, description, fn)
+        return fn
+    return deco
+
+
+# ---------------------------------------------------------------------------
+# Statistics + fingerprint
+# ---------------------------------------------------------------------------
+
+def median_mad(samples: Iterable[float]) -> Tuple[float, float]:
+    """Median and median absolute deviation of ``samples``."""
+    xs = sorted(float(s) for s in samples)
+    if not xs:
+        return 0.0, 0.0
+
+    def _median(values: List[float]) -> float:
+        n = len(values)
+        mid = n // 2
+        if n % 2:
+            return values[mid]
+        return 0.5 * (values[mid - 1] + values[mid])
+
+    med = _median(xs)
+    mad = _median(sorted(abs(x - med) for x in xs))
+    return med, mad
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Identify the machine/toolchain a trajectory was recorded on."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Curated scenarios
+# ---------------------------------------------------------------------------
+
+def _bundle(cfg: SuiteConfig):
+    from ..bench.scenarios import build_bundle
+
+    spec = cfg.spec
+    return build_bundle(cfg.sequence, width=spec.width, height=spec.height,
+                        n_frames=spec.frames, seed=cfg.seed)
+
+
+def _pass_counters(prefix: str, workloads) -> Dict[str, int]:
+    counters: Dict[str, int] = {}
+    for variant, workload in sorted(workloads.items()):
+        for pass_name, stats in (("fwd", workload.fwd), ("bwd", workload.bwd)):
+            for key in _PASS_COUNTERS:
+                counters[f"{prefix}{variant}.{pass_name}.{key}"] = int(
+                    getattr(stats, key))
+    return counters
+
+
+def _iteration_sections(workloads) -> Dict[str, Dict[str, float]]:
+    """counters/model/info for one {dense, tile_sparse, pixel} workload set."""
+    from ..hw import GpuModel, SplatonicAccelerator
+
+    counters = _pass_counters("", workloads)
+    model: Dict[str, float] = {}
+    info: Dict[str, float] = {}
+
+    gpu = GpuModel()
+    gpu_total: Dict[str, float] = {}
+    for variant, workload in sorted(workloads.items()):
+        times = gpu.iteration_times(workload)
+        gpu_total[variant] = times.total
+        model[f"gpu.{variant}.forward_s"] = times.forward
+        model[f"gpu.{variant}.backward_s"] = times.backward
+        model[f"gpu.{variant}.total_s"] = times.total
+
+    report = SplatonicAccelerator().iteration_report(workloads["pixel"])
+    model["accel.forward_s"] = report.forward_s
+    model["accel.backward_s"] = report.backward_s
+    model["accel.total_s"] = report.total_s
+    model["accel.energy_j"] = report.energy_j
+    for stage, seconds in sorted(report.stage_seconds.items()):
+        model[f"accel.stage.{stage}_s"] = seconds
+
+    info["speedup.accel_over_dense_gpu"] = report.speedup_over(
+        gpu_total["dense"])
+    info["speedup.pixel_over_dense_gpu"] = (
+        gpu_total["dense"] / gpu_total["pixel"] if gpu_total["pixel"] else 0.0)
+    fwd = workloads["pixel"].fwd
+    info["pixel.alpha_pass_rate"] = fwd.alpha_pass_rate
+    info["pixel.warp_utilization"] = fwd.warp_utilization()
+    return {"counters": counters, "model": model, "info": info}
+
+
+@scenario("tracking",
+          "sparse tracking iteration: dense/Org.+S/pixel workload counters "
+          "+ modeled GPU and SPLATONIC-HW latency")
+def _scn_tracking(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
+    from ..bench.scenarios import tracking_workloads
+
+    bundle = _bundle(cfg)
+    workloads = tracking_workloads(bundle, tile=cfg.spec.tracking_tile,
+                                   seed=cfg.seed)
+    return _iteration_sections(workloads)
+
+
+@scenario("mapping",
+          "mapping iteration: dense/Org.+S/pixel workload counters "
+          "+ modeled GPU and SPLATONIC-HW latency")
+def _scn_mapping(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
+    from ..bench.scenarios import mapping_workloads
+
+    bundle = _bundle(cfg)
+    workloads = mapping_workloads(bundle, tile=cfg.spec.mapping_tile,
+                                  seed=cfg.seed)
+    return _iteration_sections(workloads)
+
+
+@scenario("slam_e2e",
+          "proxy SLAM end-to-end run: accumulated per-stage workload "
+          "counters + wall time")
+def _scn_slam_e2e(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
+    from ..slam import SLAMSystem
+
+    bundle = _bundle(cfg)
+    result = SLAMSystem("splatam", mode="sparse", seed=cfg.seed).run(
+        bundle.sequence)
+
+    counters: Dict[str, float] = {
+        "frames": int(result.num_frames),
+        "map_gaussians": int(len(result.cloud)),
+        "mapping_invocations": int(result.mapping_invocations),
+        "tracking_iterations": int(sum(result.tracking_iterations)),
+    }
+    for stage in SLAMSystem.STAGES:
+        stats = result.stage_stats[stage]
+        for key in _PASS_COUNTERS:
+            counters[f"{stage}.{key}"] = int(getattr(stats, key))
+        counters[f"{stage}.image_width"] = int(stats.image_width)
+        counters[f"{stage}.image_height"] = int(stats.image_height)
+
+    info: Dict[str, float] = {
+        "ate_rmse_m": float(result.ate().rmse),
+    }
+    return {"counters": counters, "model": {}, "info": info}
+
+
+@scenario("hw_units",
+          "hardware-unit replays on the mapping pixel workload: "
+          "aggregation scoreboard, hierarchical sorter, DRAM traffic")
+def _scn_hw_units(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
+    from ..bench.scenarios import mapping_workloads
+    from ..hw import AggregationUnit, HierarchicalSorter, SortingUnitConfig
+
+    bundle = _bundle(cfg)
+    workloads = mapping_workloads(bundle, tile=cfg.spec.mapping_tile,
+                                  seed=cfg.seed)
+    pixel = workloads["pixel"]
+
+    agg = AggregationUnit().simulate(pixel.bwd.pixel_contrib_ids)
+    counters = {
+        "aggregation.tuples": int(agg.tuples),
+        "aggregation.cache_hits": int(agg.cache_hits),
+        "aggregation.cache_misses": int(agg.cache_misses),
+        "aggregation.unique_accumulations": int(agg.unique_accumulations),
+        "sorter.keys": int(pixel.fwd.num_sort_keys),
+    }
+    sorter = HierarchicalSorter(SortingUnitConfig())
+    model = {
+        "aggregation.cycles": float(agg.cycles),
+        "aggregation.stall_cycles": float(agg.stall_cycles),
+        "aggregation.dram_bytes": float(agg.dram_bytes),
+        "sorter.cycles": float(
+            sorter.total_cycles(pixel.fwd.pixel_list_lengths)),
+    }
+    info = {
+        "aggregation.hit_rate": agg.hit_rate,
+        "aggregation.cycles_per_tuple": agg.cycles_per_tuple,
+    }
+    return {"counters": counters, "model": model, "info": info}
+
+
+# ---------------------------------------------------------------------------
+# Suite runner
+# ---------------------------------------------------------------------------
+
+def _resolve_scenarios(names: Optional[Iterable[str]]) -> List[Scenario]:
+    if names is None:
+        return list(SCENARIOS.values())
+    out = []
+    for name in names:
+        if isinstance(name, Scenario):
+            out.append(name)
+            continue
+        if name not in SCENARIOS:
+            raise KeyError(
+                f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+        out.append(SCENARIOS[name])
+    return out
+
+
+def _run_scenario(scn: Scenario, cfg: SuiteConfig) -> Dict[str, Any]:
+    samples: List[float] = []
+    sections: Optional[Dict[str, Dict[str, float]]] = None
+    stable = True
+    with trace.capture():
+        for _rep in range(cfg.repetitions):
+            start = perf_counter()
+            out = scn.run(cfg)
+            samples.append(perf_counter() - start)
+            if sections is not None and out["counters"] != sections["counters"]:
+                stable = False
+            sections = out
+        stage_rows = trace.stage_table()
+    assert sections is not None
+
+    med, mad = median_mad(samples)
+    if not stable:
+        log.warning(f"{scn.name}: counters varied across repetitions — "
+                    f"the scenario is not deterministic")
+    return {
+        "description": scn.description,
+        "counters": {k: int(v) for k, v in sorted(sections["counters"].items())},
+        "model": {k: float(v) for k, v in sorted(sections["model"].items())},
+        "info": {k: float(v) for k, v in sorted(sections["info"].items())},
+        "wall": {
+            "median_s": round(med, 6),
+            "mad_s": round(mad, 6),
+            "samples_s": [round(s, 6) for s in samples],
+            "repetitions": cfg.repetitions,
+        },
+        "stable_counters": stable,
+        "trace_stages": sorted(
+            ({"span": r["span"], "count": r["count"],
+              "total_s": round(r["total_s"], 6),
+              "self_s": round(r["self_s"], 6)} for r in stage_rows),
+            key=lambda row: row["span"]),
+    }
+
+
+def run_suite(config: Optional[SuiteConfig] = None,
+              scenarios: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+    """Execute the suite and return the ``BENCH_trajectory`` payload."""
+    cfg = config or SuiteConfig()
+    selected = _resolve_scenarios(scenarios)
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": cfg.size,
+        "sequence": cfg.sequence,
+        "repetitions": cfg.repetitions,
+        "environment": environment_fingerprint(),
+        "scenarios": {},
+    }
+    for scn in selected:
+        log.info(f"scenario {scn.name} ({cfg.size}, "
+                 f"{cfg.repetitions} repetitions) ...")
+        result = _run_scenario(scn, cfg)
+        payload["scenarios"][scn.name] = result
+        wall = result["wall"]
+        log.info(f"  {scn.name}: median {wall['median_s'] * 1e3:.1f} ms "
+                 f"(MAD {wall['mad_s'] * 1e3:.1f} ms), "
+                 f"{len(result['counters'])} counters")
+    return payload
+
+
+def write_trajectory(payload: Dict[str, Any], path: str) -> None:
+    """Write a suite payload as canonical (key-sorted) JSON."""
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")

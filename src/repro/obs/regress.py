@@ -1,0 +1,310 @@
+"""Regression gate: diff a BENCH_trajectory run against a baseline.
+
+The comparator walks the scenario sections of two
+:mod:`repro.obs.bench` payloads and classifies every metric:
+
+- ``counters`` — **exact**.  These are deterministic workload counters
+  (pixel–Gaussian pairs, atomic adds, sort keys); any mismatch means the
+  workload silently changed and fails the gate.
+- ``model``    — modeled cycles/latency/bytes, deterministic functions
+  of the counters; compared with a tiny relative tolerance (absolute
+  floor for zero-valued baselines).  Oriented smaller-is-better: larger
+  beyond tolerance regresses, smaller improves.
+- ``wall``     — median wall seconds, noise-aware: a regression needs to
+  exceed the baseline median by a relative margin *and* several MADs
+  (whichever slack is largest, with an absolute floor for micro-scenarios).
+
+Missing scenarios/metrics in the current run fail (``removed``); new
+ones pass with a note (``new``).  Schema-version or file problems are
+reported as errors and also fail.  Everything is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .bench import SCHEMA_VERSION
+
+__all__ = [
+    "TolerancePolicy",
+    "Finding",
+    "RegressionReport",
+    "load_trajectory",
+    "compare_runs",
+    "compare_files",
+]
+
+#: Sections of a scenario payload the gate inspects, in report order.
+DEFAULT_SECTIONS = ("counters", "model", "wall")
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """Per-kind comparison tolerances."""
+
+    #: Allowed relative slowdown of the median wall time.
+    wall_rel: float = 0.30
+    #: ... which must also exceed this many MADs (max of both runs').
+    wall_mad_factor: float = 4.0
+    #: Absolute wall slack floor — micro-scenarios jitter by milliseconds.
+    wall_abs_s: float = 0.02
+    #: Relative tolerance for modeled (deterministic float) metrics.
+    model_rel: float = 1e-6
+    #: Absolute floor for modeled metrics with zero-valued baselines.
+    model_abs: float = 1e-12
+
+
+@dataclass
+class Finding:
+    """Verdict for one metric of one scenario."""
+
+    scenario: str
+    metric: str
+    kind: str                     # "counter" | "model" | "wall" | "scenario"
+    baseline: Optional[float]
+    current: Optional[float]
+    status: str                   # "ok" | "improved" | "regressed"
+                                  # | "new" | "removed"
+    detail: str = ""
+
+
+@dataclass
+class RegressionReport:
+    """All findings of one comparison plus structural errors."""
+
+    findings: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings
+                if f.status in ("regressed", "removed")]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions and not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 metric regressions, 2 structural errors."""
+        if self.errors:
+            return 2
+        return 0 if self.passed else 1
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.findings:
+            out[f.status] = out.get(f.status, 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "counts": {k: v for k, v in sorted(self.counts().items())},
+            "errors": list(self.errors),
+            "findings": [asdict(f) for f in self.findings
+                         if f.status != "ok"],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=1, sort_keys=True)
+            f.write("\n")
+
+    def format_markdown(self, max_rows: int = 50) -> str:
+        counts = self.counts()
+        summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [f"### bench compare — {verdict} ({summary or 'no metrics'})"]
+        for err in self.errors:
+            lines.append(f"- ERROR: {err}")
+        notable = [f for f in self.findings if f.status != "ok"]
+        # Failures first, then improvements/new, alphabetical within.
+        order = {"removed": 0, "regressed": 1, "improved": 2, "new": 3}
+        notable.sort(key=lambda f: (order.get(f.status, 9),
+                                    f.scenario, f.metric))
+        if notable:
+            lines += [
+                "",
+                "| scenario | metric | kind | baseline | current "
+                "| status | detail |",
+                "|---|---|---|---:|---:|---|---|",
+            ]
+            for f in notable[:max_rows]:
+                lines.append(
+                    f"| {f.scenario} | {f.metric} | {f.kind} "
+                    f"| {_fmt(f.baseline)} | {_fmt(f.current)} "
+                    f"| {f.status} | {f.detail} |")
+            if len(notable) > max_rows:
+                lines.append(f"| ... | +{len(notable) - max_rows} more "
+                             f"| | | | | |")
+        return "\n".join(lines)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return f"{f:.6g}"
+
+
+# ---------------------------------------------------------------------------
+# Comparison core
+# ---------------------------------------------------------------------------
+
+def _check_schema(doc: Any, label: str, errors: List[str]) -> bool:
+    if not isinstance(doc, dict):
+        errors.append(f"{label}: not a JSON object")
+        return False
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        errors.append(f"{label}: schema_version {version!r} != "
+                      f"supported {SCHEMA_VERSION}")
+        return False
+    if not isinstance(doc.get("scenarios"), dict):
+        errors.append(f"{label}: missing 'scenarios' object")
+        return False
+    return True
+
+
+def _compare_exact(name: str, metric: str, base: float, cur: float) -> Finding:
+    if cur == base:
+        return Finding(name, metric, "counter", base, cur, "ok")
+    return Finding(name, metric, "counter", base, cur, "regressed",
+                   f"exact counter changed {_fmt(base)} -> {_fmt(cur)}")
+
+
+def _compare_model(name: str, metric: str, base: float, cur: float,
+                   policy: TolerancePolicy) -> Finding:
+    tol = max(policy.model_abs, policy.model_rel * abs(base))
+    if cur > base + tol:
+        return Finding(name, metric, "model", base, cur, "regressed",
+                       f"exceeds baseline by {cur - base:.3g} "
+                       f"(tolerance {tol:.3g})")
+    if cur < base - tol:
+        return Finding(name, metric, "model", base, cur, "improved",
+                       f"below baseline by {base - cur:.3g}")
+    return Finding(name, metric, "model", base, cur, "ok")
+
+
+def _compare_wall(name: str, base_wall: Dict[str, Any],
+                  cur_wall: Dict[str, Any],
+                  policy: TolerancePolicy) -> Finding:
+    base = float(base_wall.get("median_s", 0.0))
+    cur = float(cur_wall.get("median_s", 0.0))
+    mad = max(float(base_wall.get("mad_s", 0.0)),
+              float(cur_wall.get("mad_s", 0.0)))
+    slack = max(policy.wall_abs_s, base * policy.wall_rel,
+                policy.wall_mad_factor * mad)
+    metric = "wall.median_s"
+    if cur > base + slack:
+        return Finding(name, metric, "wall", base, cur, "regressed",
+                       f"median slowed {base:.4f}s -> {cur:.4f}s "
+                       f"(slack {slack:.4f}s)")
+    if cur < base - slack:
+        return Finding(name, metric, "wall", base, cur, "improved",
+                       f"median improved {base:.4f}s -> {cur:.4f}s")
+    return Finding(name, metric, "wall", base, cur, "ok")
+
+
+def _compare_section(name: str, section: str, base: Dict[str, Any],
+                     cur: Dict[str, Any],
+                     policy: TolerancePolicy) -> List[Finding]:
+    kind = "counter" if section == "counters" else "model"
+    base_metrics = base.get(section) or {}
+    cur_metrics = cur.get(section) or {}
+    findings = []
+    for key in sorted(base_metrics):
+        metric = f"{section}.{key}"
+        if key not in cur_metrics:
+            findings.append(Finding(name, metric, kind,
+                                    float(base_metrics[key]), None,
+                                    "removed",
+                                    "metric missing from current run"))
+            continue
+        base_v, cur_v = float(base_metrics[key]), float(cur_metrics[key])
+        if section == "counters":
+            findings.append(_compare_exact(name, metric, base_v, cur_v))
+        else:
+            findings.append(_compare_model(name, metric, base_v, cur_v,
+                                           policy))
+    for key in sorted(set(cur_metrics) - set(base_metrics)):
+        findings.append(Finding(name, f"{section}.{key}", kind, None,
+                                float(cur_metrics[key]), "new",
+                                "metric absent from baseline"))
+    return findings
+
+
+def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
+                 policy: Optional[TolerancePolicy] = None,
+                 sections: Sequence[str] = DEFAULT_SECTIONS,
+                 ) -> RegressionReport:
+    """Diff two suite payloads; see the module docstring for semantics."""
+    pol = policy or TolerancePolicy()
+    report = RegressionReport()
+    ok = _check_schema(baseline, "baseline", report.errors)
+    ok = _check_schema(current, "current", report.errors) and ok
+    if not ok:
+        return report
+
+    base_scenarios = baseline["scenarios"]
+    cur_scenarios = current["scenarios"]
+    for name in sorted(base_scenarios):
+        if name not in cur_scenarios:
+            report.findings.append(Finding(
+                name, "(scenario)", "scenario", None, None, "removed",
+                "scenario missing from current run"))
+            continue
+        base, cur = base_scenarios[name], cur_scenarios[name]
+        for section in sections:
+            if section == "wall":
+                if base.get("wall") and cur.get("wall"):
+                    report.findings.append(
+                        _compare_wall(name, base["wall"], cur["wall"], pol))
+                continue
+            report.findings.extend(
+                _compare_section(name, section, base, cur, pol))
+    for name in sorted(set(cur_scenarios) - set(base_scenarios)):
+        report.findings.append(Finding(
+            name, "(scenario)", "scenario", None, None, "new",
+            "scenario absent from baseline"))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# File-level entry points
+# ---------------------------------------------------------------------------
+
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """Load one trajectory JSON; raises OSError / ValueError on problems."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    return doc
+
+
+def compare_files(current_path: str, baseline_path: str,
+                  policy: Optional[TolerancePolicy] = None,
+                  sections: Sequence[str] = DEFAULT_SECTIONS,
+                  ) -> RegressionReport:
+    """Load + diff two trajectory files; file problems become errors."""
+    report = RegressionReport()
+    docs = {}
+    for label, path in (("baseline", baseline_path),
+                        ("current", current_path)):
+        try:
+            docs[label] = load_trajectory(path)
+        except FileNotFoundError:
+            hint = (" — record one with `repro bench run --out "
+                    f"{path}` and commit it" if label == "baseline" else "")
+            report.errors.append(f"{label} file not found: {path}{hint}")
+        except (OSError, ValueError) as exc:
+            report.errors.append(f"{label} file unreadable: {exc}")
+    if report.errors:
+        return report
+    return compare_runs(docs["current"], docs["baseline"], policy, sections)

@@ -204,7 +204,8 @@ class Tracer:
         """Write the event array to ``path``; returns the event count."""
         events = self.to_chrome_trace(pid=pid, tid=tid)
         with open(path, "w") as f:
-            json.dump(events, f, indent=1)
+            json.dump(events, f, indent=1, sort_keys=True)
+            f.write("\n")
         return len(events)
 
     # ---- export: per-stage summary ----

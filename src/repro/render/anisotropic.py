@@ -393,7 +393,8 @@ def backward_sparse_anisotropic(
     d_sil = np.atleast_1d(np.asarray(d_silhouette, dtype=float))
 
     stats = PipelineStats(pipeline="pixel", num_gaussians=n,
-                          num_projected=M, num_pixels=K)
+                          num_projected=M, num_pixels=K,
+                          image_width=intr.width, image_height=intr.height)
     d_alpha_terms_mean = np.zeros((M, 2))
     d_conic = np.zeros((M, 3))
     d_opacity = np.zeros(M)

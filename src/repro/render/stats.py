@@ -69,6 +69,10 @@ class PipelineStats:
 
     def merge(self, other: "PipelineStats") -> "PipelineStats":
         """Accumulate another pass's counters into this one (in place)."""
+        # Frame geometry is a property of the run, not an accumulator;
+        # carry it so stage-level aggregates don't export 0x0 frames.
+        self.image_width = max(self.image_width, other.image_width)
+        self.image_height = max(self.image_height, other.image_height)
         self.num_gaussians = max(self.num_gaussians, other.num_gaussians)
         self.num_projected += other.num_projected
         self.num_pixels += other.num_pixels

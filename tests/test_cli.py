@@ -38,6 +38,29 @@ class TestParser:
         args = build_parser().parse_args(["-q", "info"])
         assert args.quiet == 1
 
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_bench_run_defaults(self):
+        args = build_parser().parse_args(["bench", "run"])
+        assert args.bench_command == "run"
+        assert args.size == "small"
+        assert args.reps == 3
+        assert args.out == "BENCH_trajectory.json"
+
+    def test_bench_compare_defaults(self):
+        args = build_parser().parse_args(["bench", "compare"])
+        assert args.baseline == "BENCH_baseline.json"
+        assert args.current == "BENCH_trajectory.json"
+        assert not args.counters_only
+
+    def test_bench_attrib_trace_out_does_not_shadow_global_trace(self):
+        args = build_parser().parse_args(
+            ["bench", "attrib", "--trace-out", "units.json"])
+        assert args.unit_trace_out == "units.json"
+        assert args.trace_out is None  # the global --trace flag
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -107,12 +130,88 @@ class TestCommands:
         exported = json.loads(open(metrics_out).read())
         assert "tracking_fwd.num_pixels" in exported["counters"]
 
+    def test_trace_json_mode_prints_parseable_payload(self, tmp_path,
+                                                      capsys):
+        out = str(tmp_path / "trace.json")
+        code = main(["trace", "--frames", "2", "--width", "32",
+                     "--height", "24", "--out", out, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["frames"] == 2
+        assert payload["trace_events"] > 0
+        spans = {row["span"] for row in payload["stages"]}
+        assert "tracking_fwd" in spans
+        # Key-sorted canonical output for stable diffs.
+        assert (json.dumps(payload, indent=1, sort_keys=True)
+                == json.dumps(payload, indent=1))
+
     def test_quiet_silences_narration(self, tmp_path, capsys):
         out = str(tmp_path / "v.ppm")
         assert main(["-qq", "render", "--out", out, "--width", "32",
                      "--height", "24"]) == 0
         assert "wrote" not in capsys.readouterr().out.lower()
 
+class TestBenchCommands:
+    """End-to-end `repro bench run|compare|attrib` flows (tiny suite)."""
+
+    def test_run_compare_and_injected_regression(self, tmp_path, capsys):
+        traj = str(tmp_path / "traj.json")
+        # Keep the CLI round-trip fast: one scenario, one repetition.
+        code = main(["-q", "bench", "run", "--size", "tiny", "--reps", "1",
+                     "--scenarios", "hw_units", "--out", traj])
+        assert code == 0
+        doc = json.loads(open(traj).read())
+        assert doc["schema_version"] == 1
+        assert "hw_units" in doc["scenarios"]
+        capsys.readouterr()
+
+        # Clean self-comparison gates green ...
+        assert main(["-q", "bench", "compare", "--baseline", traj,
+                     "--current", traj]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        # ... an injected counter regression gates red with attribution.
+        doc["scenarios"]["hw_units"]["counters"]["sorter.keys"] += 1
+        bad = str(tmp_path / "bad.json")
+        json.dump(doc, open(bad, "w"))
+        report_out = str(tmp_path / "report.json")
+        code = main(["-q", "bench", "compare", "--baseline", traj,
+                     "--current", bad, "--counters-only",
+                     "--json-out", report_out])
+        assert code == 1
+        printed = capsys.readouterr().out
+        assert "FAIL" in printed and "sorter.keys" in printed
+        report = json.loads(open(report_out).read())
+        assert report["passed"] is False
+
+    def test_compare_missing_baseline_exits_2(self, tmp_path, capsys):
+        code = main(["-q", "bench", "compare",
+                     "--baseline", str(tmp_path / "missing.json"),
+                     "--current", str(tmp_path / "also_missing.json")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().out
+
+    def test_bench_run_unknown_size_errors(self):
+        with pytest.raises(ValueError, match="unknown size"):
+            main(["-q", "bench", "run", "--size", "galactic"])
+
+    def test_attrib_prints_table_and_writes_exports(self, tmp_path, capsys):
+        out = str(tmp_path / "attrib.json")
+        units = str(tmp_path / "units.json")
+        code = main(["-q", "bench", "attrib", "--scenario", "tracking",
+                     "--size", "tiny", "--out", out, "--trace-out", units])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "cycle attribution" in printed
+        assert "<-- bottleneck" in printed
+        assert "measured wall time" in printed
+        doc = json.loads(open(out).read())
+        assert doc["bottlenecks"]["forward"]
+        events = json.loads(open(units).read())
+        assert {e["ph"] for e in events} == {"M", "X"}
+
+
+class TestSlamEndToEnd:
     @pytest.mark.slow
     def test_slam_end_to_end(self, tmp_path, capsys):
         out_dir = str(tmp_path / "run")

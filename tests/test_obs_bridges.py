@@ -1,0 +1,118 @@
+"""Metrics-registry bridges against hand-built result objects."""
+
+import numpy as np
+import pytest
+
+from repro.hw import AggregationTrace, DramStats, StageTimes
+from repro.obs import (
+    MetricsRegistry,
+    ingest_aggregation_trace,
+    ingest_dram_stats,
+    ingest_pipeline_stats,
+    ingest_stage_times,
+)
+from repro.render import PipelineStats
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestIngestPipelineStats:
+    def make_stats(self):
+        return PipelineStats(
+            pipeline="pixel", image_width=64, image_height=48,
+            num_gaussians=500, num_projected=400, num_pixels=100,
+            num_candidate_pairs=1000, num_contrib_pairs=250,
+            num_sort_keys=800, num_alpha_checks=1000, num_atomic_adds=750,
+            per_pixel_contribs=[2, 3] * 50)
+
+    def test_num_counters_accumulate(self, registry):
+        stats = self.make_stats()
+        ingest_pipeline_stats("tracking_fwd", stats, registry=registry)
+        counters = registry.counters
+        assert counters["tracking_fwd.num_contrib_pairs"] == 250
+        assert counters["tracking_fwd.num_sort_keys"] == 800
+        # A second ingest adds (counters are monotonic accumulators).
+        ingest_pipeline_stats("tracking_fwd", stats, registry=registry)
+        assert registry.counters["tracking_fwd.num_contrib_pairs"] == 500
+
+    def test_non_num_fields_are_not_counters(self, registry):
+        ingest_pipeline_stats("s", self.make_stats(), registry=registry)
+        assert "s.image_width" not in registry.counters
+        assert "s.pipeline" not in registry.counters
+
+    def test_derived_rates_land_as_gauges(self, registry):
+        ingest_pipeline_stats("s", self.make_stats(), registry=registry)
+        gauges = registry.gauges
+        assert gauges["s.alpha_pass_rate"] == pytest.approx(0.25)
+        assert gauges["s.mean_contribs_per_pixel"] == pytest.approx(2.5)
+        assert 0.0 < gauges["s.warp_utilization"] <= 1.0
+
+    def test_empty_stats_ingest_cleanly(self, registry):
+        ingest_pipeline_stats("empty", PipelineStats(), registry=registry)
+        assert registry.gauges["empty.alpha_pass_rate"] == 0.0
+
+
+class TestIngestStageTimes:
+    def test_stage_and_aggregate_gauges(self, registry):
+        times = StageTimes(projection=0.1, sorting=0.2, rasterization=0.3,
+                           reverse_rasterization=0.4, aggregation=0.5,
+                           reprojection=0.6, launch=0.05, overhead=0.01)
+        ingest_stage_times("gpu.dense", times, registry=registry)
+        gauges = registry.gauges
+        assert gauges["gpu.dense.projection_s"] == pytest.approx(0.1)
+        assert gauges["gpu.dense.aggregation_s"] == pytest.approx(0.5)
+        assert gauges["gpu.dense.forward_s"] == pytest.approx(0.6)
+        assert gauges["gpu.dense.backward_s"] == pytest.approx(1.5)
+        assert gauges["gpu.dense.total_s"] == pytest.approx(2.16)
+
+
+class TestIngestAggregationTrace:
+    def test_counters_and_gauges(self, registry):
+        agg = AggregationTrace(cycles=1000.0, stall_cycles=100.0, tuples=400,
+                               unique_accumulations=300, cache_misses=50,
+                               cache_hits=350, dram_bytes=3200.0)
+        ingest_aggregation_trace("agg", agg, registry=registry)
+        assert registry.counters["agg.tuples"] == 400
+        assert registry.counters["agg.cache_hits"] == 350
+        assert registry.counters["agg.cache_misses"] == 50
+        gauges = registry.gauges
+        assert gauges["agg.cycles"] == 1000.0
+        assert gauges["agg.hit_rate"] == pytest.approx(0.875)
+        assert gauges["agg.cycles_per_tuple"] == pytest.approx(2.5)
+        assert gauges["agg.dram_bytes"] == 3200.0
+
+    def test_real_unit_output_ingests(self, registry):
+        from repro.hw import AggregationUnit
+
+        ids = [np.array([0, 1, 2]), np.array([1, 2, 3])]
+        trace = AggregationUnit().simulate(ids)
+        ingest_aggregation_trace("agg", trace, registry=registry)
+        assert registry.counters["agg.tuples"] == 6
+
+
+class TestIngestDramStats:
+    def test_counters_and_gauges(self, registry):
+        stats = DramStats(hits=90, misses=10, cycles=640.0, energy_pj=123.0)
+        ingest_dram_stats("dram", stats, registry=registry)
+        assert registry.counters["dram.hits"] == 90
+        assert registry.counters["dram.misses"] == 10
+        gauges = registry.gauges
+        assert gauges["dram.hit_rate"] == pytest.approx(0.9)
+        assert gauges["dram.cycles"] == 640.0
+        assert gauges["dram.energy_pj"] == 123.0
+
+
+class TestExportDeterminism:
+    def test_export_is_sorted_and_plain(self, registry):
+        ingest_pipeline_stats("b_stage", PipelineStats(num_projected=3),
+                              registry=registry)
+        ingest_pipeline_stats("a_stage", PipelineStats(num_projected=2),
+                              registry=registry)
+        export = registry.export()
+        keys = list(export["counters"])
+        assert keys == sorted(keys)
+        assert all(isinstance(v, (int, float))
+                   for v in export["counters"].values())

@@ -1,0 +1,266 @@
+"""Regression gate: tolerance semantics and comparator edge cases."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import SCHEMA_VERSION
+from repro.obs.regress import (
+    DEFAULT_SECTIONS,
+    Finding,
+    RegressionReport,
+    TolerancePolicy,
+    compare_files,
+    compare_runs,
+)
+
+
+def make_payload(scenarios=None):
+    """A minimal valid trajectory payload (deep-copied per call)."""
+    base = {
+        "tracking": {
+            "counters": {"pixel.fwd.num_contrib_pairs": 1000,
+                         "pixel.fwd.num_sort_keys": 250},
+            "model": {"accel.total_s": 0.004, "gpu.dense.total_s": 0.1},
+            "wall": {"median_s": 0.10, "mad_s": 0.002,
+                     "samples_s": [0.1, 0.1, 0.1], "repetitions": 3},
+        },
+    }
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "tiny",
+        "repetitions": 3,
+        "environment": {},
+        "scenarios": scenarios if scenarios is not None else base,
+    }
+    return json.loads(json.dumps(doc))
+
+
+class TestCleanComparison:
+    def test_identical_runs_pass(self):
+        report = compare_runs(make_payload(), make_payload())
+        assert report.passed
+        assert report.exit_code == 0
+        assert not report.regressions
+        assert all(f.status == "ok" for f in report.findings)
+
+    def test_counts_tally_all_findings(self):
+        report = compare_runs(make_payload(), make_payload())
+        # 2 counters + 2 model + 1 wall
+        assert report.counts() == {"ok": 5}
+
+
+class TestCounterExactness:
+    def test_injected_counter_regression_fails(self):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["counters"][
+            "pixel.fwd.num_contrib_pairs"] += 1
+        report = compare_runs(cur, make_payload())
+        assert not report.passed
+        assert report.exit_code == 1
+        (bad,) = report.regressions
+        assert bad.metric == "counters.pixel.fwd.num_contrib_pairs"
+        assert bad.kind == "counter"
+
+    def test_counter_decrease_also_fails(self):
+        # Counters are exact, not smaller-is-better: any drift means the
+        # workload changed.
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["counters"][
+            "pixel.fwd.num_sort_keys"] -= 10
+        report = compare_runs(cur, make_payload())
+        assert not report.passed
+
+
+class TestModelTolerance:
+    def test_within_relative_tolerance_is_ok(self):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["model"]["accel.total_s"] *= 1 + 1e-9
+        report = compare_runs(cur, make_payload())
+        assert report.passed
+
+    def test_beyond_tolerance_regresses(self):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["model"]["accel.total_s"] *= 1.01
+        report = compare_runs(cur, make_payload())
+        (bad,) = report.regressions
+        assert bad.metric == "model.accel.total_s"
+
+    def test_improvement_is_not_a_failure(self):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["model"]["accel.total_s"] *= 0.5
+        report = compare_runs(cur, make_payload())
+        assert report.passed
+        assert any(f.status == "improved" for f in report.findings)
+
+    def test_zero_valued_baseline_uses_absolute_floor(self):
+        base = make_payload()
+        base["scenarios"]["tracking"]["model"]["accel.total_s"] = 0.0
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["model"]["accel.total_s"] = 0.0
+        assert compare_runs(cur, base).passed
+        # Any appreciable value on a zero baseline regresses.
+        cur["scenarios"]["tracking"]["model"]["accel.total_s"] = 1e-6
+        assert not compare_runs(cur, base).passed
+
+    def test_boundary_exactly_at_tolerance_is_ok(self):
+        policy = TolerancePolicy(model_rel=0.1, model_abs=0.0)
+        base = make_payload()
+        cur = make_payload()
+        v = base["scenarios"]["tracking"]["model"]["accel.total_s"]
+        cur["scenarios"]["tracking"]["model"]["accel.total_s"] = v * 1.1
+        assert compare_runs(cur, base, policy=policy).passed
+        cur["scenarios"]["tracking"]["model"]["accel.total_s"] = v * 1.11
+        assert not compare_runs(cur, base, policy=policy).passed
+
+
+class TestWallTolerance:
+    def test_noise_within_slack_is_ok(self):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["wall"]["median_s"] = 0.11  # +10 %
+        report = compare_runs(cur, make_payload())
+        assert report.passed
+
+    def test_large_slowdown_regresses(self):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["wall"]["median_s"] = 0.50
+        report = compare_runs(cur, make_payload())
+        (bad,) = report.regressions
+        assert bad.kind == "wall"
+
+    def test_mad_widens_the_slack(self):
+        # 2x slowdown, but the baseline is extremely noisy: 4 MADs of
+        # 0.05 s = 0.2 s slack > the 0.1 s delta.
+        base = make_payload()
+        base["scenarios"]["tracking"]["wall"]["mad_s"] = 0.05
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["wall"]["median_s"] = 0.20
+        assert compare_runs(cur, base).passed
+
+    def test_absolute_floor_forgives_micro_scenarios(self):
+        # 3x relative slowdown on a 5 ms scenario stays under the 20 ms
+        # absolute floor.
+        base = make_payload()
+        base["scenarios"]["tracking"]["wall"].update(median_s=0.005, mad_s=0.0)
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["wall"].update(median_s=0.015, mad_s=0.0)
+        assert compare_runs(cur, base).passed
+
+    def test_speedup_reports_improved(self):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["wall"]["median_s"] = 0.01
+        report = compare_runs(cur, make_payload())
+        assert report.passed
+        assert any(f.status == "improved" and f.kind == "wall"
+                   for f in report.findings)
+
+    def test_wall_section_can_be_skipped(self):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["wall"]["median_s"] = 99.0
+        report = compare_runs(cur, make_payload(),
+                              sections=["counters", "model"])
+        assert report.passed
+
+
+class TestStructuralChanges:
+    def test_new_metric_passes_with_note(self):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["counters"]["brand_new"] = 7
+        report = compare_runs(cur, make_payload())
+        assert report.passed
+        (new,) = [f for f in report.findings if f.status == "new"]
+        assert new.metric == "counters.brand_new"
+
+    def test_removed_metric_fails(self):
+        cur = make_payload()
+        del cur["scenarios"]["tracking"]["counters"]["pixel.fwd.num_sort_keys"]
+        report = compare_runs(cur, make_payload())
+        assert not report.passed
+        (gone,) = report.regressions
+        assert gone.status == "removed"
+
+    def test_removed_scenario_fails(self):
+        cur = make_payload(scenarios={})
+        report = compare_runs(cur, make_payload())
+        assert not report.passed
+        (gone,) = report.regressions
+        assert gone.metric == "(scenario)"
+
+    def test_new_scenario_passes(self):
+        cur = make_payload()
+        cur["scenarios"]["extra"] = {"counters": {"x": 1}, "model": {},
+                                     "wall": {}}
+        report = compare_runs(cur, make_payload())
+        assert report.passed
+
+    def test_schema_version_mismatch_is_an_error(self):
+        cur = make_payload()
+        cur["schema_version"] = SCHEMA_VERSION + 1
+        report = compare_runs(cur, make_payload())
+        assert report.exit_code == 2
+        assert any("schema_version" in e for e in report.errors)
+
+    def test_non_object_payload_is_an_error(self):
+        report = compare_runs([], make_payload())
+        assert report.exit_code == 2
+
+
+class TestCompareFiles:
+    def test_round_trip_via_files(self, tmp_path):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(make_payload()))
+        report = compare_files(str(a), str(a))
+        assert report.passed
+
+    def test_missing_baseline_is_an_error_with_hint(self, tmp_path):
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps(make_payload()))
+        report = compare_files(str(cur), str(tmp_path / "nope.json"))
+        assert report.exit_code == 2
+        (err,) = report.errors
+        assert "baseline file not found" in err
+        assert "repro bench run" in err  # actionable hint
+
+    def test_missing_current_is_an_error(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(make_payload()))
+        report = compare_files(str(tmp_path / "nope.json"), str(base))
+        assert report.exit_code == 2
+        assert any("current" in e for e in report.errors)
+
+    def test_corrupt_baseline_is_an_error(self, tmp_path):
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps(make_payload()))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        report = compare_files(str(cur), str(bad))
+        assert report.exit_code == 2
+
+
+class TestReporting:
+    def test_markdown_mentions_verdict_and_regression(self):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["counters"][
+            "pixel.fwd.num_contrib_pairs"] += 5
+        report = compare_runs(cur, make_payload())
+        text = report.format_markdown()
+        assert "FAIL" in text
+        assert "pixel.fwd.num_contrib_pairs" in text
+        clean = compare_runs(make_payload(), make_payload())
+        assert "PASS" in clean.format_markdown()
+
+    def test_json_report_is_sorted_and_excludes_ok(self, tmp_path):
+        cur = make_payload()
+        cur["scenarios"]["tracking"]["model"]["accel.total_s"] *= 2
+        report = compare_runs(cur, make_payload())
+        out = tmp_path / "report.json"
+        report.write_json(str(out))
+        doc = json.loads(out.read_text())
+        assert doc["passed"] is False
+        assert all(f["status"] != "ok" for f in doc["findings"])
+        # Canonical output: re-dumping with sort_keys is a no-op.
+        assert out.read_text() == json.dumps(doc, indent=1,
+                                             sort_keys=True) + "\n"
+
+    def test_default_sections_order(self):
+        assert DEFAULT_SECTIONS == ("counters", "model", "wall")

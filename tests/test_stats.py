@@ -1,9 +1,11 @@
-"""PipelineStats: counter merging and the warp-utilization model."""
+"""PipelineStats: counter merging, image-dimension propagation, and the
+warp-utilization model."""
 
 import numpy as np
 import pytest
 
-from repro.render import PipelineStats
+from repro.gaussians import Camera, GaussianCloud, Intrinsics
+from repro.render import PipelineStats, backward_full, render_full
 
 
 class TestMerge:
@@ -40,6 +42,67 @@ class TestMerge:
     def test_merge_returns_self(self):
         a = PipelineStats()
         assert a.merge(PipelineStats()) is a
+
+    def test_image_dims_propagate_into_empty_accumulator(self):
+        # The SLAM system accumulates per-stage stats into empty
+        # PipelineStats objects; frame geometry must survive the merge.
+        acc = PipelineStats()
+        acc.merge(PipelineStats(image_width=64, image_height=48))
+        assert acc.image_width == 64
+        assert acc.image_height == 48
+        acc.merge(PipelineStats())  # a dimension-less pass can't erase them
+        assert acc.image_width == 64
+        assert acc.image_height == 48
+
+    def test_image_dims_take_max(self):
+        acc = PipelineStats(image_width=32, image_height=24)
+        acc.merge(PipelineStats(image_width=64, image_height=48))
+        assert (acc.image_width, acc.image_height) == (64, 48)
+
+
+def _make_scene(n=60, width=32, height=24, seed=0):
+    rng = np.random.default_rng(seed)
+    cloud = GaussianCloud.create(
+        means=np.stack([rng.uniform(-1, 1, n), rng.uniform(-0.8, 0.8, n),
+                        rng.uniform(1.2, 4, n)], axis=-1),
+        scales=rng.uniform(0.05, 0.25, n),
+        opacities=rng.uniform(0.2, 0.9, n),
+        colors=rng.uniform(0.1, 0.9, (n, 3)),
+    )
+    return cloud, Camera(Intrinsics.from_fov(width, height, 70.0))
+
+
+class TestImageDimsPopulated:
+    """Both pipelines must stamp frame geometry on every pass's stats."""
+
+    BG = np.zeros(3)
+
+    def test_tile_pipeline_forward_and_backward(self):
+        cloud, cam = _make_scene()
+        res = render_full(cloud, cam, self.BG, tile_size=8)
+        assert res.stats.image_width == 32
+        assert res.stats.image_height == 24
+        grads = backward_full(res, cloud, cam,
+                              np.ones_like(res.color),
+                              np.ones_like(res.depth),
+                              np.ones_like(res.silhouette))
+        assert grads.stats.image_width == 32
+        assert grads.stats.image_height == 24
+
+    def test_pixel_pipeline_forward_and_backward(self):
+        from repro.core.pixel_pipeline import backward_sparse, render_sparse
+
+        cloud, cam = _make_scene()
+        pixels = np.stack([np.arange(8) * 3, np.arange(8) * 2], axis=-1)
+        res = render_sparse(cloud, cam, pixels, self.BG)
+        assert res.stats.image_width == 32
+        assert res.stats.image_height == 24
+        grads = backward_sparse(res, cloud, cam,
+                                np.ones_like(res.color),
+                                np.ones_like(res.depth),
+                                np.ones_like(res.silhouette))
+        assert grads.stats.image_width == 32
+        assert grads.stats.image_height == 24
 
 
 class TestDerivedQuantities:
