@@ -17,10 +17,11 @@ from repro.datasets import REPLICA_SEQUENCES, make_replica_sequence
 from repro.slam import SLAMSystem
 
 
-def run(mode: str, sequence, config=None):
+def run(mode: str, sequence, config=None, flight=None, health=None):
     start = time.perf_counter()
     result = SLAMSystem("splatam", mode=mode,
-                        splatonic_config=config).run(sequence)
+                        splatonic_config=config).run(
+                            sequence, flight=flight, health=health)
     elapsed = time.perf_counter() - start
     ate = result.ate()
     quality = result.eval_quality(sequence)
@@ -37,6 +38,10 @@ def main():
     parser.add_argument("--tracking-tile", type=int, default=8,
                         help="w_t; the paper uses 16 at 1200x680 — scale "
                              "it with your image size")
+    parser.add_argument("--flight-record", metavar="PATH", default=None,
+                        help="record per-frame telemetry of the sparse run "
+                             "to PATH (JSONL) and write a markdown report "
+                             "next to it")
     args = parser.parse_args()
 
     print(f"building sequence {args.sequence} "
@@ -45,9 +50,29 @@ def main():
         args.sequence, n_frames=args.frames,
         width=args.width, height=args.height, surface_density=10)
 
+    flight = health = None
+    if args.flight_record:
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.health import HealthMonitor
+        flight = FlightRecorder()
+        flight.enable(args.flight_record)
+        health = HealthMonitor()
+
     config = SplatonicConfig(tracking_tile=args.tracking_tile)
     print("\nrunning SPLATONIC (sparse) ...")
-    sparse, ate_s, q_s, t_s = run("sparse", sequence, config)
+    sparse, ate_s, q_s, t_s = run("sparse", sequence, config,
+                                  flight=flight, health=health)
+    if flight is not None:
+        flight.disable()
+        from repro.obs.flight import read_flight_record
+        from repro.obs.report import render_report
+        report_path = args.flight_record + ".md"
+        with open(report_path, "w") as f:
+            f.write(render_report(read_flight_record(args.flight_record)))
+        print(f"flight record : {args.flight_record} "
+              f"({len(flight.records)} records, "
+              f"{len(health.alerts)} health alerts)")
+        print(f"flight report : {report_path}")
     print("running baseline (dense) ...")
     dense, ate_d, q_d, t_d = run("dense", sequence)
 

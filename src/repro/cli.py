@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro slam --sequence room0 --out results/      # run SLAM, save outputs
     repro render --scene-seed 7 --out view.ppm      # render a scene
     repro figure fig22                              # regenerate one figure
     repro trace --frames 4 --out trace.json         # traced proxy SLAM run
     repro bench run|compare|attrib                  # perf-trajectory suite
+    repro report run.jsonl                          # flight-record report
     repro info                                      # presets + hw summary
 
 ``repro bench`` is the perf-trajectory harness: ``run`` executes the
@@ -14,6 +15,12 @@ benchmark suite and writes ``BENCH_trajectory.json``, ``compare`` gates
 a trajectory against a committed ``BENCH_baseline.json`` (non-zero exit
 on regression — wire it into CI), and ``attrib`` prints the per-hardware-
 unit cycle-attribution table with an optional flamegraph export.
+
+``repro slam --flight-record run.jsonl`` records one structured record
+per frame (poses, losses, sampling composition, health alerts); ``repro
+report run.jsonl`` renders it as a markdown/HTML run report and ``repro
+report --diff a.jsonl b.jsonl`` aligns two runs frame-by-frame and
+reports where they first diverged (exit 1 on divergence, diff-style).
 
 Global flags: ``-v``/``-q`` adjust log verbosity and ``--trace PATH``
 captures a Chrome trace of *any* subcommand (open it in Perfetto or
@@ -68,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_slam.add_argument("--seed", type=int, default=0)
     p_slam.add_argument("--out", default=None,
                         help="directory for trajectory/cloud/render outputs")
+    p_slam.add_argument("--flight-record", metavar="PATH", default=None,
+                        help="record per-frame flight telemetry (JSONL) "
+                             "to PATH; render it with `repro report`")
+    p_slam.add_argument("--on-alert", choices=["warn", "raise"],
+                        default="warn",
+                        help="health-monitor escalation policy "
+                             "(default: warn)")
 
     p_render = sub.add_parser("render", help="render a procedural scene or "
                                              "a saved cloud")
@@ -153,6 +167,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="optional per-unit Chrome-trace/flamegraph "
                             "output path")
 
+    p_report = sub.add_parser(
+        "report", help="render a flight-record run report, or diff two "
+                       "runs frame-by-frame")
+    p_report.add_argument("records", nargs="+", metavar="RECORD",
+                          help="flight-record JSONL path(s): one to "
+                               "report, two with --diff")
+    p_report.add_argument("--diff", action="store_true",
+                          help="align two records frame-by-frame and "
+                               "report the first divergence "
+                               "(exit 1 when the runs diverge)")
+    p_report.add_argument("--format", choices=["markdown", "html"],
+                          default="markdown",
+                          help="report output format (default: markdown)")
+    p_report.add_argument("--out", default=None,
+                          help="write the report here instead of stdout")
+
     sub.add_parser("info", help="print presets and hardware configuration")
     return parser
 
@@ -172,6 +202,8 @@ def _cmd_slam(args) -> int:
     from .core import SplatonicConfig
     from .io import save_cloud, save_ppm, save_trajectory_tum
     from .metrics import rpe
+    from .obs.flight import FlightRecorder
+    from .obs.health import HealthConfig, HealthMonitor
     from .render import render_full
     from .gaussians import Camera
     from .slam import SLAMSystem
@@ -181,8 +213,23 @@ def _cmd_slam(args) -> int:
         args.algorithm, mode=args.mode,
         splatonic_config=SplatonicConfig(tracking_tile=args.tracking_tile),
         seed=args.seed)
+    flight = None
+    health = None
+    if args.flight_record:
+        flight = FlightRecorder()
+        flight.enable(args.flight_record)
+        health = HealthMonitor(HealthConfig(on_alert=args.on_alert))
     log.info(f"running {args.algorithm} ({args.mode}) ...")
-    result = system.run(sequence)
+    try:
+        result = system.run(sequence, flight=flight, health=health)
+    finally:
+        if flight is not None:
+            flight.disable()
+    if flight is not None:
+        n_alerts = len(health.alerts)
+        log.info(f"wrote {len(flight.records)} flight records to "
+                 f"{args.flight_record} ({n_alerts} health alerts); "
+                 f"render with `repro report {args.flight_record}`")
 
     ate = result.ate()
     drift = rpe(result.est_trajectory, result.gt_trajectory)
@@ -418,6 +465,35 @@ def _cmd_bench_attrib(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from .obs.flight import read_flight_record
+    from .obs.report import diff_runs, render_report
+
+    def _emit(text: str) -> None:
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write(text)
+            log.info(f"wrote report to {args.out}")
+        else:
+            print(text, end="")
+
+    if args.diff:
+        if len(args.records) != 2:
+            raise SystemExit("report --diff needs exactly two records")
+        a = read_flight_record(args.records[0])
+        b = read_flight_record(args.records[1])
+        diff = diff_runs(a, b)
+        _emit(diff.format_markdown())
+        # diff-style exit code: 0 identical, 1 diverged.
+        return 1 if diff.diverged else 0
+    if len(args.records) != 1:
+        raise SystemExit("report renders exactly one record "
+                         "(use --diff for two)")
+    log_data = read_flight_record(args.records[0])
+    _emit(render_report(log_data, fmt=args.format))
+    return 0
+
+
 def _cmd_info(_args) -> int:
     from . import __version__
     from .hw import GpuSpec, SplatonicHwConfig, splatonic_area
@@ -452,6 +528,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
+        "report": _cmd_report,
         "info": _cmd_info,
     }
     # Global --trace: capture the whole subcommand (the `trace` and `bench`

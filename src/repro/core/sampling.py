@@ -178,6 +178,19 @@ class MappingSamples:
         order = np.lexsort((unique[:, 0], unique[:, 1]))
         return unique[order]
 
+    def counts(self) -> dict:
+        """Per-strategy pixel counts (the flight recorder's view).
+
+        ``total`` is the size of the deduplicated union — what actually
+        gets rendered — so ``unseen + weighted - total`` is the overlap
+        between the two strategies.
+        """
+        return {
+            "unseen": int(len(self.unseen)),
+            "weighted": int(len(self.weighted)),
+            "total": int(len(self.all_pixels)),
+        }
+
 
 def sample_mapping_pixels(
     gamma_final: np.ndarray,

@@ -26,14 +26,33 @@ inside functions:
 - :mod:`repro.obs.attrib` — cycle attribution: maps modeled cycles and
   traced wall time onto the paper's pipeline stages per hardware unit,
   with bottleneck tables and a per-unit Chrome-trace export.
+- :mod:`repro.obs.flight` — the per-frame SLAM flight recorder: one
+  schema-versioned JSONL record per frame (poses, loss curves, sampling
+  composition, workload counters), following the tracer's disabled ==
+  free discipline.
+- :mod:`repro.obs.health` — online health monitors over the flight
+  stream (NaN/∞, pose jumps, loss divergence, coverage collapse,
+  runaway densification) with a ``warn``/``raise`` escalation policy.
+- :mod:`repro.obs.report` — run reports (markdown/HTML, sparkline
+  summaries) and frame-aligned run-to-run diffing for flight records.
 
-See README "Observability" and EXPERIMENTS.md "Perf trajectory" for the
-workflow, and DESIGN.md for the span name ↔ paper stage mapping.
+See README "Observability" and EXPERIMENTS.md "Perf trajectory" /
+"Flight recorder" for the workflow, and DESIGN.md for the span name ↔
+paper stage mapping.
 """
 
-from . import attrib, bench, regress
+from . import attrib, bench, flight, health, regress, report
 from .attrib import AttributionReport, attribute_workload
 from .bench import SuiteConfig, run_suite, write_trajectory
+from .flight import FlightLog, FlightRecorder, read_flight_record
+from .health import (
+    HealthAlert,
+    HealthConfig,
+    HealthError,
+    HealthMonitor,
+    get_monitor,
+    set_monitor,
+)
 from .log import configure, get_logger
 from .metrics import (
     Histogram,
@@ -45,6 +64,7 @@ from .metrics import (
     metrics,
 )
 from .regress import RegressionReport, TolerancePolicy, compare_files, compare_runs
+from .report import RunDiff, diff_runs, render_report
 from .tracing import SpanRecord, Tracer, trace
 
 __all__ = [
@@ -72,4 +92,19 @@ __all__ = [
     "compare_files",
     "AttributionReport",
     "attribute_workload",
+    "flight",
+    "health",
+    "report",
+    "FlightRecorder",
+    "FlightLog",
+    "read_flight_record",
+    "HealthAlert",
+    "HealthConfig",
+    "HealthError",
+    "HealthMonitor",
+    "get_monitor",
+    "set_monitor",
+    "RunDiff",
+    "diff_runs",
+    "render_report",
 ]

@@ -111,6 +111,16 @@ class PipelineStats:
             "num_atomic_adds": int(self.num_atomic_adds),
         }
 
+    def headline(self) -> Dict[str, int]:
+        """Just the scalar ``num_*`` workload counters.
+
+        The per-frame payload of the flight recorder: small, integer,
+        and deterministic — the per-frame analogue of the stage-level
+        counters in ``BENCH_trajectory.json``.
+        """
+        return {key: value for key, value in self.as_dict().items()
+                if key.startswith("num_")}
+
     def summary(self) -> Dict[str, float]:
         """Derived per-pass rates (the quantities the figures report)."""
         pixels = max(self.num_pixels, 1)

@@ -17,7 +17,7 @@ Each mapping invocation, at the current frame:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ..gaussians.camera import Camera, Intrinsics
 from ..gaussians.init import seed_from_rgbd
 from ..gaussians.model import GaussianCloud
 from ..obs import trace
+from ..obs.health import get_monitor
 from ..render.backward import backward_full
 from ..render.stats import PipelineStats
 from .config import AlgorithmConfig
@@ -46,6 +47,13 @@ class MappingResult:
     final_loss: float
     forward_stats: PipelineStats = field(default_factory=PipelineStats)
     backward_stats: PipelineStats = field(default_factory=PipelineStats)
+    # Sampling composition of the *current* keyframe's pixel set:
+    # unseen/weighted/total counts, the unseen-coverage fraction of the
+    # first forward pass, and whether this invocation rendered densely.
+    sample_info: Dict[str, float] = field(default_factory=dict)
+    # Per-iteration loss values; collected only on request (the flight
+    # recorder asks for it), None otherwise.
+    loss_curve: Optional[List[float]] = None
 
 
 def _mapping_lr(algo: AlgorithmConfig, n: int) -> np.ndarray:
@@ -114,8 +122,15 @@ class Mapper:
 
     def map_frame(self, cloud: GaussianCloud, current: Keyframe,
                   window: List[Keyframe],
-                  max_iters: Optional[int] = None) -> MappingResult:
-        """Run one full mapping invocation at ``current``."""
+                  max_iters: Optional[int] = None,
+                  collect_curve: bool = False) -> MappingResult:
+        """Run one full mapping invocation at ``current``.
+
+        ``collect_curve=True`` additionally records the per-iteration
+        loss values (for the flight recorder).
+        """
+        from ..core.sampling import unseen_mask
+
         iters = max_iters if max_iters is not None else self.algo.mapping_iters
         fwd_stats = PipelineStats(pipeline=self.mode)
         bwd_stats = PipelineStats(pipeline=self.mode)
@@ -140,6 +155,12 @@ class Mapper:
         # frames", Sec. VII-A).
         full_frame = (self.mode == "sparse"
                       and self.splatonic.next_mapping_is_full_frame())
+        height, width = gamma_final.shape
+        sample_info: Dict[str, float] = {
+            "unseen": 0, "weighted": 0, "total": int(height * width),
+            "unseen_coverage": float(unseen_mask(gamma_final).mean()),
+            "full_frame": bool(full_frame or self.mode == "dense"),
+        }
         kf_pixels = []
         for kf in window:
             if self.mode == "sparse":
@@ -152,6 +173,7 @@ class Mapper:
                     samples = self.splatonic.sample_mapping(
                         gamma_final, current.color)
                     px = samples.all_pixels
+                    sample_info.update(samples.counts())
                 else:
                     # Older keyframes: no fresh Gamma map; use the
                     # texture-weighted lattice only.
@@ -165,6 +187,7 @@ class Mapper:
         n = len(cloud)
         adam = Adam(8 * n, _mapping_lr(self.algo, n))
         loss_value = 0.0
+        curve: Optional[List[float]] = [] if collect_curve else None
         for it in range(iters):
             kf_i = it % len(window)
             kf = window[kf_i]
@@ -208,8 +231,20 @@ class Mapper:
             fwd_stats.merge(result.stats)
             bwd_stats.merge(grads.stats)
             loss_value = out.loss
+            if curve is not None:
+                curve.append(float(loss_value))
 
-            step = adam.step(grads.as_cloud_vector())
+            # Finite guard (always on): a poisoned gradient would be
+            # baked into every Gaussian parameter by the update below —
+            # alert through the health monitors and stop optimizing.
+            grad_vector = grads.as_cloud_vector()
+            if not (np.isfinite(loss_value)
+                    and np.all(np.isfinite(grad_vector))):
+                get_monitor().non_finite("mapping loss/gradient",
+                                         iteration=it,
+                                         loss=float(loss_value))
+                break
+            step = adam.step(grad_vector)
             cloud = cloud.unpack(cloud.pack() + step)
 
         # Prune collapsed Gaussians.
@@ -225,4 +260,6 @@ class Mapper:
             final_loss=loss_value,
             forward_stats=fwd_stats,
             backward_stats=bwd_stats,
+            sample_info=sample_info,
+            loss_curve=curve,
         )

@@ -24,6 +24,8 @@ from ..metrics.ate import AteResult, ate_rmse
 from ..metrics.quality import depth_l1, psnr, ssim
 from ..obs import metrics as obs_metrics
 from ..obs import trace
+from ..obs import flight as obs_flight
+from ..obs.health import HealthMonitor, get_monitor, use_monitor
 from ..render.rasterize import render_full
 from ..render.stats import PipelineStats
 from .config import AlgorithmConfig, get_algorithm
@@ -112,12 +114,44 @@ class SLAMSystem:
                            else np.asarray(background, float))
         self.bootstrap_stride = bootstrap_stride
 
-    def run(self, sequence, n_frames: Optional[int] = None) -> SLAMResult:
-        """Run SLAM over ``sequence`` and return the result bundle."""
+    def run(self, sequence, n_frames: Optional[int] = None,
+            flight: Optional["obs_flight.FlightRecorder"] = None,
+            health: Optional[HealthMonitor] = None) -> SLAMResult:
+        """Run SLAM over ``sequence`` and return the result bundle.
+
+        ``flight`` overrides the process-wide flight recorder
+        (:data:`repro.obs.flight.recorder`); when the effective recorder
+        is enabled, one structured record per frame is emitted (see
+        :mod:`repro.obs.flight` for the schema) and the health monitors
+        watch the stream online.  Passing an explicit ``health`` monitor
+        turns the stream watching on even without a recorder.  With
+        both left at their disabled defaults every hook is a single
+        branch — the run is bit-identical to an uninstrumented one.
+        """
         n = len(sequence) if n_frames is None else min(n_frames, len(sequence))
         if n < 2:
             raise ValueError("need at least two frames")
         intr = sequence.intrinsics
+
+        recorder = flight if flight is not None else obs_flight.recorder
+        monitor = health if health is not None else get_monitor()
+        watch = recorder.enabled or health is not None
+        if watch:
+            monitor.begin_run()
+            alert_cursor = 0
+            recorder.begin_run(
+                algorithm=self.algo.name, mode=self.mode,
+                sequence=getattr(sequence, "name", None), frames=n,
+                width=intr.width, height=intr.height,
+                config={
+                    "tracking_tile": self.splatonic.config.tracking_tile,
+                    "mapping_tile": self.splatonic.config.mapping_tile,
+                    "tracking_strategy":
+                        self.splatonic.config.tracking_strategy,
+                    "map_every": self.algo.map_every,
+                    "keyframe_every": self.algo.keyframe_every,
+                    "keyframe_window": self.algo.keyframe_window,
+                })
 
         tracker = Tracker(self.algo, intr, self.splatonic, self.mode,
                           self.background)
@@ -130,14 +164,17 @@ class SLAMSystem:
         # ---- bootstrap on frame 0 (pose anchored to ground truth) ----
         run_span = trace.span("slam.run", algorithm=self.algo.name,
                               mode=self.mode, frames=n)
-        with run_span:
+        # A custom monitor becomes the process default for the run's
+        # duration so the tracker/mapper finite guards route into it.
+        with use_monitor(monitor if health is not None else None), run_span:
             frame0 = sequence[0]
             pose0 = frame0.gt_pose_c2w.copy()
             with trace.span("slam.bootstrap"):
                 cloud = self._bootstrap_cloud(intr, pose0, frame0)
                 kf0 = Keyframe(0, pose0, frame0.color, frame0.depth)
                 keyframes.maybe_add(0, pose0, frame0.color, frame0.depth)
-                boot = mapper.map_frame(cloud, kf0, [kf0])
+                boot = mapper.map_frame(cloud, kf0, [kf0],
+                                        collect_curve=recorder.enabled)
             cloud = boot.cloud
             stage_stats["mapping_fwd"].merge(boot.forward_stats)
             stage_stats["mapping_bwd"].merge(boot.backward_stats)
@@ -146,20 +183,32 @@ class SLAMSystem:
             tracking_iterations: List[int] = []
             mapping_invocations = 1
 
+            if watch:
+                alert_cursor = self._observe_frame(
+                    recorder, monitor, frame=0, pose_est=pose0,
+                    pose_gt=frame0.gt_pose_c2w, tracking=None, mapping=boot,
+                    mapping_window=1, cloud_size=len(cloud),
+                    keyframe_added=True, keyframe_count=len(keyframes),
+                    alert_cursor=alert_cursor)
+
             for i in range(1, n):
                 frame = sequence[i]
                 init = self._constant_velocity_init(est_poses)
                 with trace.span("slam.track", frame=i) as sp:
                     tr = tracker.track_frame(cloud, init, frame.color,
-                                             frame.depth)
+                                             frame.depth,
+                                             collect_curve=recorder.enabled)
                     sp.set(iterations=tr.iterations, converged=tr.converged)
                 est_poses.append(tr.pose_c2w)
                 tracking_iterations.append(tr.iterations)
                 stage_stats["tracking_fwd"].merge(tr.forward_stats)
                 stage_stats["tracking_bwd"].merge(tr.backward_stats)
 
-                keyframes.maybe_add(i, tr.pose_c2w, frame.color, frame.depth)
+                kf_added = keyframes.maybe_add(i, tr.pose_c2w, frame.color,
+                                               frame.depth)
 
+                mp = None
+                window_size = 0
                 if i % self.algo.map_every == 0:
                     current = Keyframe(i, tr.pose_c2w, frame.color,
                                        frame.depth)
@@ -168,14 +217,42 @@ class SLAMSystem:
                             current, intr, rng=self.splatonic.rng)
                     else:
                         window = keyframes.select(current)
+                    window_size = len(window)
                     with trace.span("slam.map", frame=i,
                                     window=len(window)) as sp:
-                        mp = mapper.map_frame(cloud, current, window)
+                        mp = mapper.map_frame(cloud, current, window,
+                                              collect_curve=recorder.enabled)
                         sp.set(seeded=mp.num_seeded, pruned=mp.num_pruned)
                     cloud = mp.cloud
                     mapping_invocations += 1
                     stage_stats["mapping_fwd"].merge(mp.forward_stats)
                     stage_stats["mapping_bwd"].merge(mp.backward_stats)
+
+                if watch:
+                    alert_cursor = self._observe_frame(
+                        recorder, monitor, frame=i, pose_est=tr.pose_c2w,
+                        pose_gt=frame.gt_pose_c2w, tracking=tr, mapping=mp,
+                        mapping_window=window_size, cloud_size=len(cloud),
+                        keyframe_added=kf_added, keyframe_count=len(keyframes),
+                        alert_cursor=alert_cursor)
+
+        if watch and recorder.enabled:
+            est = np.stack(est_poses)
+            gt = sequence.gt_trajectory[:n]
+            ate = ate_rmse(est, gt)
+            recorder.emit({
+                "type": "summary",
+                "frames": n,
+                "ate": {
+                    "rmse": ate.rmse, "mean": ate.mean,
+                    "median": ate.median, "max": ate.max,
+                    "per_frame": obs_flight.aligned_frame_errors(est, gt),
+                },
+                "final_gaussians": len(cloud),
+                "mapping_invocations": mapping_invocations,
+                "tracking_iterations": int(sum(tracking_iterations)),
+                "alerts": [a.as_dict() for a in monitor.alerts],
+            })
 
         return SLAMResult(
             algorithm=self.algo.name,
@@ -190,6 +267,72 @@ class SLAMSystem:
         )
 
     # ---- helpers ----
+
+    @staticmethod
+    def _observe_frame(recorder, monitor, *, frame, pose_est, pose_gt,
+                       tracking, mapping, mapping_window, cloud_size,
+                       keyframe_added, keyframe_count,
+                       alert_cursor: int = 0) -> int:
+        """Assemble one flight record, run the health monitors over it,
+        attach any alerts this frame produced (including the tracker/
+        mapper finite-guard ones), and emit it.  Returns the new alert
+        cursor into ``monitor.alerts``."""
+        alpha_src = (tracking or mapping)
+        candidate = contrib = 0
+        if alpha_src is not None:
+            candidate = int(alpha_src.forward_stats.num_candidate_pairs)
+            contrib = int(alpha_src.forward_stats.num_contrib_pairs)
+        counters = {}
+        if tracking is not None:
+            counters["tracking_fwd"] = tracking.forward_stats.headline()
+            counters["tracking_bwd"] = tracking.backward_stats.headline()
+        if mapping is not None:
+            counters["mapping_fwd"] = mapping.forward_stats.headline()
+            counters["mapping_bwd"] = mapping.backward_stats.headline()
+
+        record = {
+            "type": "frame",
+            "frame": int(frame),
+            "pose_est": pose_est,
+            "pose_gt": pose_gt,
+            "pose_error_m": float(np.linalg.norm(
+                np.asarray(pose_est)[:3, 3] - np.asarray(pose_gt)[:3, 3])),
+            "tracking": None if tracking is None else {
+                "iterations": int(tracking.iterations),
+                "converged": bool(tracking.converged),
+                "final_loss": float(tracking.final_loss),
+                "sampled_pixels": int(tracking.num_sampled_pixels),
+                "loss_curve": tracking.loss_curve,
+            },
+            "mapping": None if mapping is None else {
+                "invoked": True,
+                "num_seeded": int(mapping.num_seeded),
+                "num_pruned": int(mapping.num_pruned),
+                "final_loss": float(mapping.final_loss),
+                "window": int(mapping_window),
+                "sampling": mapping.sample_info or None,
+                "loss_curve": mapping.loss_curve,
+            },
+            "gaussians": int(cloud_size),
+            "keyframe": {"added": bool(keyframe_added),
+                         "buffer_size": int(keyframe_count)},
+            "alpha": {
+                "candidate_pairs": candidate,
+                "contrib_pairs": contrib,
+                "rejection_rate": (1.0 - contrib / candidate
+                                   if candidate else 0.0),
+            },
+            "counters": counters,
+        }
+        # Normalize before observing so the monitors see the same plain
+        # values a reader of the JSONL stream would.
+        record = obs_flight.to_plain(record)
+        monitor.observe_frame(record)
+        new_alerts = monitor.alerts[alert_cursor:]
+        if new_alerts:
+            record["alerts"] = [a.as_dict() for a in new_alerts]
+        recorder.emit(record)
+        return len(monitor.alerts)
 
     def _bootstrap_cloud(self, intr, pose0, frame0) -> GaussianCloud:
         """Seed the initial map from a regular grid over frame 0."""

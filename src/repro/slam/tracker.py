@@ -17,13 +17,14 @@ loss stops improving.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..core.splatonic import Splatonic
 from ..gaussians.camera import Camera, Intrinsics
 from ..obs import trace
+from ..obs.health import get_monitor
 from ..gaussians.model import GaussianCloud
 from ..gaussians.se3 import se3_exp
 from ..render.backward import backward_full
@@ -45,6 +46,10 @@ class TrackingResult:
     converged: bool
     forward_stats: PipelineStats = field(default_factory=PipelineStats)
     backward_stats: PipelineStats = field(default_factory=PipelineStats)
+    num_sampled_pixels: int = 0
+    # Per-iteration loss values; collected only on request (the flight
+    # recorder asks for it), None otherwise.
+    loss_curve: Optional[List[float]] = None
 
 
 class Tracker:
@@ -72,8 +77,14 @@ class Tracker:
         ref_color: np.ndarray,
         ref_depth: np.ndarray,
         max_iters: Optional[int] = None,
+        collect_curve: bool = False,
     ) -> TrackingResult:
-        """Optimize the frame's pose starting from ``init_pose_c2w``."""
+        """Optimize the frame's pose starting from ``init_pose_c2w``.
+
+        ``collect_curve=True`` additionally records the per-iteration
+        loss values (for the flight recorder); the default keeps the
+        hot loop allocation-free.
+        """
         iters = max_iters if max_iters is not None else self.algo.tracking_iters
         pose = np.asarray(init_pose_c2w, dtype=float).copy()
         lr = np.concatenate([
@@ -89,12 +100,16 @@ class Tracker:
                 Camera(self.intrinsics, pose), image=ref_color)
             ref_c = ref_color[pixels[:, 1], pixels[:, 0]]
             ref_d = ref_depth[pixels[:, 1], pixels[:, 0]]
+            num_sampled = int(len(pixels))
+        else:
+            num_sampled = int(ref_depth.size)
 
         best_loss = np.inf
         stall = 0
         loss_value = 0.0
         it = 0
         converged = False
+        curve: Optional[List[float]] = [] if collect_curve else None
         for it in range(1, iters + 1):
             camera = Camera(self.intrinsics, pose)
             if self.mode == "sparse":
@@ -127,8 +142,19 @@ class Tracker:
             fwd_stats.merge(result.stats)
             bwd_stats.merge(grads.stats)
             loss_value = out.loss
+            if curve is not None:
+                curve.append(float(loss_value))
 
             if out.num_valid == 0:
+                break
+            # Finite guard (always on): a poisoned loss or gradient must
+            # not reach the Adam state or the pose — alert through the
+            # health monitors and keep the last good estimate.
+            if not (np.isfinite(loss_value)
+                    and np.all(np.isfinite(grads.d_pose_twist))):
+                get_monitor().non_finite("tracking loss/gradient",
+                                         iteration=it,
+                                         loss=float(loss_value))
                 break
             step = adam.step(grads.d_pose_twist)
             pose = pose @ se3_exp(step)
@@ -149,4 +175,6 @@ class Tracker:
             converged=converged,
             forward_stats=fwd_stats,
             backward_stats=bwd_stats,
+            num_sampled_pixels=num_sampled,
+            loss_curve=curve,
         )

@@ -224,3 +224,77 @@ class TestSlamEndToEnd:
         for name in ("trajectory_est.txt", "trajectory_gt.txt",
                      "cloud.npz", "final_view.ppm"):
             assert os.path.exists(os.path.join(out_dir, name)), name
+
+
+class TestReportParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["report", "run.jsonl"])
+        assert args.records == ["run.jsonl"]
+        assert not args.diff
+        assert args.format == "markdown"
+        assert args.out is None
+
+    def test_diff_takes_two_records(self):
+        args = build_parser().parse_args(
+            ["report", "--diff", "a.jsonl", "b.jsonl"])
+        assert args.diff and args.records == ["a.jsonl", "b.jsonl"]
+
+    def test_requires_a_record(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_slam_flight_record_flags(self):
+        args = build_parser().parse_args(
+            ["slam", "--flight-record", "run.jsonl", "--on-alert", "raise"])
+        assert args.flight_record == "run.jsonl"
+        assert args.on_alert == "raise"
+        args = build_parser().parse_args(["slam"])
+        assert args.flight_record is None and args.on_alert == "warn"
+
+
+class TestReportCommand:
+    @pytest.fixture(scope="class")
+    def record_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli-flight") / "run.jsonl")
+        code = main(["-q", "slam", "--frames", "3", "--width", "24",
+                     "--height", "18", "--tracking-tile", "8",
+                     "--flight-record", path])
+        assert code == 0
+        return path
+
+    def test_report_prints_markdown(self, record_path, capsys):
+        assert main(["report", record_path]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# flight report")
+        assert "per-frame detail" in out
+
+    def test_report_html_to_file(self, record_path, tmp_path):
+        out = str(tmp_path / "report.html")
+        assert main(["-q", "report", record_path,
+                     "--format", "html", "--out", out]) == 0
+        with open(out) as f:
+            text = f.read()
+        assert text.startswith("<!DOCTYPE html>")
+
+    def test_self_diff_is_clean_and_exits_zero(self, record_path, capsys):
+        assert main(["report", "--diff", record_path, record_path]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_diff_of_different_runs_exits_one(self, record_path, tmp_path,
+                                              capsys):
+        other = str(tmp_path / "other.jsonl")
+        code = main(["-q", "slam", "--frames", "3", "--width", "24",
+                     "--height", "18", "--tracking-tile", "8",
+                     "--seed", "7", "--flight-record", other])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", "--diff", record_path, other]) == 1
+        assert "first divergence at frame" in capsys.readouterr().out
+
+    def test_diff_requires_exactly_two(self, record_path):
+        with pytest.raises(SystemExit):
+            main(["report", "--diff", record_path])
+
+    def test_single_report_rejects_two_records(self, record_path):
+        with pytest.raises(SystemExit):
+            main(["report", record_path, record_path])

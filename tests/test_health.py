@@ -1,0 +1,275 @@
+"""Health monitors: each detector, escalation policy, and the NaN guards."""
+
+import numpy as np
+import pytest
+
+from repro.obs.health import (HealthConfig, HealthError, HealthMonitor,
+                              get_monitor, set_monitor, use_monitor)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _frame(i, *, position=(0.0, 0.0, 0.0), loss=0.01, coverage=None,
+           gaussians=None, invoked=False):
+    pose = np.eye(4)
+    pose[:3, 3] = position
+    record = {
+        "type": "frame", "frame": i,
+        "pose_est": pose.tolist(),
+        "tracking": {"final_loss": loss},
+    }
+    if coverage is not None or invoked:
+        record["mapping"] = {"invoked": invoked, "final_loss": loss,
+                             "sampling": ({} if coverage is None
+                                          else {"unseen_coverage": coverage})}
+    if gaussians is not None:
+        record["gaussians"] = gaussians
+    return record
+
+
+def fresh_monitor(**overrides):
+    return HealthMonitor(HealthConfig(**overrides),
+                         registry=MetricsRegistry())
+
+
+class TestConfig:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="on_alert"):
+            HealthConfig(on_alert="panic")
+
+
+class TestFiniteness:
+    def test_check_finite_accepts_clean_values(self):
+        mon = fresh_monitor()
+        assert mon.check_finite("x", 1.0)
+        assert mon.check_finite("x", [[1.0, 2.0], [3.0, 4.0]])
+        assert mon.check_finite("x", np.eye(4))
+        assert mon.alerts == []
+
+    def test_check_finite_flags_nan_and_inf(self):
+        mon = fresh_monitor()
+        assert not mon.check_finite("loss", float("nan"))
+        assert not mon.check_finite("pose", [[1.0, float("inf")]])
+        assert len(mon.alerts) == 2
+        assert all(a.monitor == "non_finite" for a in mon.alerts)
+
+    def test_alerts_hit_the_metrics_registry(self):
+        registry = MetricsRegistry()
+        mon = HealthMonitor(HealthConfig(), registry=registry)
+        mon.non_finite("tracking loss", frame=3)
+        assert registry.counters["health.alerts.non_finite"] == 1
+        assert any("tracking loss" in w for w in registry.warnings)
+
+    def test_observe_frame_checks_pose_and_losses(self):
+        mon = fresh_monitor()
+        record = _frame(0, loss=float("nan"))
+        new = mon.observe_frame(record)
+        assert [a.monitor for a in new] == ["non_finite"]
+
+
+class TestEscalation:
+    def test_raise_policy_aborts(self):
+        mon = fresh_monitor(on_alert="raise")
+        with pytest.raises(HealthError) as exc:
+            mon.non_finite("mapping loss", frame=2)
+        assert exc.value.alert.monitor == "non_finite"
+        assert exc.value.alert.frame == 2
+
+    def test_warn_policy_continues(self):
+        mon = fresh_monitor()
+        mon.non_finite("x")
+        mon.non_finite("y")
+        assert len(mon.alerts) == 2
+
+
+class TestPoseJump:
+    def test_smooth_trajectory_is_quiet(self):
+        mon = fresh_monitor()
+        for i in range(8):
+            mon.observe_frame(_frame(i, position=(0.1 * i, 0.0, 0.0)))
+        assert mon.alerts == []
+
+    def test_teleport_fires_after_history_builds(self):
+        mon = fresh_monitor()
+        for i in range(6):
+            mon.observe_frame(_frame(i, position=(0.1 * i, 0.0, 0.0)))
+        new = mon.observe_frame(_frame(6, position=(50.0, 0.0, 0.0)))
+        assert [a.monitor for a in new] == ["pose_jump"]
+        assert new[0].frame == 6
+        assert new[0].value > new[0].threshold
+
+    def test_early_jump_is_tolerated(self):
+        # With fewer than 3 observed steps there is no reliable median.
+        mon = fresh_monitor()
+        mon.observe_frame(_frame(0, position=(0.0, 0.0, 0.0)))
+        mon.observe_frame(_frame(1, position=(50.0, 0.0, 0.0)))
+        assert mon.alerts == []
+
+
+class TestLossDivergence:
+    def test_improving_run_is_quiet(self):
+        mon = fresh_monitor()
+        for i, loss in enumerate([0.5, 0.2, 0.1, 0.05, 0.04, 0.03, 0.02]):
+            mon.observe_frame(_frame(i, loss=loss))
+        assert mon.alerts == []
+
+    def test_sustained_regression_fires_once(self):
+        mon = fresh_monitor(loss_window=3)
+        losses = [0.10, 0.05, 0.02, 0.5, 0.6, 0.7, 0.8, 0.9]
+        fired = []
+        for i, loss in enumerate(losses):
+            fired += mon.observe_frame(_frame(i, loss=loss))
+        monitors = [a.monitor for a in fired]
+        assert monitors.count("loss_divergence") == 1
+
+    def test_single_spike_does_not_fire(self):
+        mon = fresh_monitor(loss_window=3)
+        for i, loss in enumerate([0.1, 0.05, 0.02, 0.9, 0.02, 0.02, 0.02]):
+            mon.observe_frame(_frame(i, loss=loss))
+        assert mon.alerts == []
+
+
+class TestCoverage:
+    def test_warmup_frames_may_be_uncovered(self):
+        mon = fresh_monitor(coverage_warmup=2)
+        mon.observe_frame(_frame(0, coverage=0.9, invoked=True))
+        mon.observe_frame(_frame(1, coverage=0.9, invoked=True))
+        assert mon.alerts == []
+
+    def test_collapse_after_warmup_fires(self):
+        mon = fresh_monitor(coverage_warmup=2)
+        for i in range(2):
+            mon.observe_frame(_frame(i, coverage=0.1, invoked=True))
+        new = mon.observe_frame(_frame(2, coverage=0.8, invoked=True))
+        assert [a.monitor for a in new] == ["coverage_collapse"]
+
+    def test_frames_without_mapping_do_not_advance_warmup(self):
+        mon = fresh_monitor(coverage_warmup=2)
+        for i in range(10):
+            mon.observe_frame(_frame(i))  # tracking-only frames
+        mon.observe_frame(_frame(10, coverage=0.8, invoked=True))
+        assert mon.alerts == []  # first mapping pass is still warm-up
+
+
+class TestDensification:
+    def test_steady_growth_is_quiet(self):
+        mon = fresh_monitor(densify_warmup=1)
+        for i, n in enumerate([100, 110, 120, 130]):
+            mon.observe_frame(_frame(i, gaussians=n, invoked=True))
+        assert mon.alerts == []
+
+    def test_explosive_growth_fires(self):
+        mon = fresh_monitor(densify_warmup=1)
+        mon.observe_frame(_frame(0, gaussians=100, invoked=True))
+        mon.observe_frame(_frame(1, gaussians=110, invoked=True))
+        new = mon.observe_frame(_frame(2, gaussians=500, invoked=True))
+        assert [a.monitor for a in new] == ["densify_runaway"]
+        assert new[0].value == pytest.approx(500 / 110)
+
+    def test_bootstrap_growth_is_warmup(self):
+        mon = fresh_monitor(densify_warmup=2)
+        mon.observe_frame(_frame(0, gaussians=10, invoked=True))
+        mon.observe_frame(_frame(1, gaussians=400, invoked=True))
+        assert mon.alerts == []
+
+
+class TestDefaultMonitorPlumbing:
+    def test_set_monitor_swaps_and_returns_previous(self):
+        original = get_monitor()
+        try:
+            replacement = fresh_monitor()
+            assert set_monitor(replacement) is original
+            assert get_monitor() is replacement
+        finally:
+            set_monitor(original)
+
+    def test_use_monitor_restores_on_exit(self):
+        original = get_monitor()
+        scoped = fresh_monitor()
+        with use_monitor(scoped) as active:
+            assert active is scoped
+            assert get_monitor() is scoped
+        assert get_monitor() is original
+
+    def test_use_monitor_none_is_a_noop(self):
+        original = get_monitor()
+        with use_monitor(None) as active:
+            assert active is original
+        assert get_monitor() is original
+
+
+class TestIterationGuards:
+    """The tracker/mapper NaN guards fire even with no recorder attached."""
+
+    @pytest.fixture()
+    def scene(self):
+        from repro.datasets import make_replica_sequence
+        from repro.gaussians.camera import Camera
+        from repro.gaussians.init import seed_from_rgbd
+        seq = make_replica_sequence("room0", n_frames=2, width=24, height=18,
+                                    surface_density=10)
+        frame = seq[0]
+        h, w = frame.depth.shape
+        vs, us = np.mgrid[0:h, 0:w]
+        pixels = np.stack([us.ravel(), vs.ravel()], axis=-1)
+        # Dense, near-opaque seeding so the rendered silhouette clears the
+        # tracking-loss validity threshold (otherwise num_valid == 0 and
+        # the loop exits before the finite guard is reached).
+        cloud = seed_from_rgbd(Camera(seq.intrinsics, frame.gt_pose_c2w),
+                               frame.color, frame.depth, pixels,
+                               initial_opacity=0.999, scale_factor=2.0)
+        return seq, cloud
+
+    def _poison(self, monkeypatch, module):
+        real = module.rgbd_loss
+
+        def poisoned(*args, **kwargs):
+            out = real(*args, **kwargs)
+            out.loss = float("nan")
+            return out
+
+        monkeypatch.setattr(module, "rgbd_loss", poisoned)
+
+    def test_tracker_guard_alerts_and_stops(self, monkeypatch, scene):
+        import repro.slam.tracker as tracker_mod
+        from repro.slam.config import ALGORITHMS
+        seq, cloud = scene
+        self._poison(monkeypatch, tracker_mod)
+        mon = fresh_monitor()
+        with use_monitor(mon):
+            tracker = tracker_mod.Tracker(
+                ALGORITHMS["splatam"], seq.intrinsics, mode="dense")
+            result = tracker.track_frame(
+                cloud, seq[0].gt_pose_c2w, seq[1].color, seq[1].depth)
+        assert result.iterations == 1  # stopped at the first poisoned step
+        assert [a.monitor for a in mon.alerts] == ["non_finite"]
+        assert "tracking" in mon.alerts[0].message
+        # The poisoned loss never reached the pose update.
+        assert np.allclose(result.pose_c2w, seq[0].gt_pose_c2w)
+
+    def test_mapper_guard_alerts_and_stops(self, monkeypatch, scene):
+        import repro.slam.mapper as mapper_mod
+        from repro.slam.config import ALGORITHMS
+        from repro.slam.keyframes import Keyframe
+        seq, cloud = scene
+        self._poison(monkeypatch, mapper_mod)
+        mon = fresh_monitor()
+        with use_monitor(mon):
+            mapper = mapper_mod.Mapper(
+                ALGORITHMS["splatam"], seq.intrinsics, mode="dense")
+            kf = Keyframe(index=0, color=seq[0].color, depth=seq[0].depth,
+                          pose_c2w=seq[0].gt_pose_c2w)
+            mapper.map_frame(cloud, kf, [kf], max_iters=5)
+        assert [a.monitor for a in mon.alerts] == ["non_finite"]
+        assert "mapping" in mon.alerts[0].message
+
+    def test_guard_raise_policy_propagates(self, monkeypatch, scene):
+        import repro.slam.tracker as tracker_mod
+        from repro.slam.config import ALGORITHMS
+        seq, cloud = scene
+        self._poison(monkeypatch, tracker_mod)
+        with use_monitor(fresh_monitor(on_alert="raise")):
+            tracker = tracker_mod.Tracker(
+                ALGORITHMS["splatam"], seq.intrinsics, mode="dense")
+            with pytest.raises(HealthError):
+                tracker.track_frame(cloud, seq[0].gt_pose_c2w,
+                                    seq[1].color, seq[1].depth)

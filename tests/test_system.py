@@ -103,3 +103,52 @@ class TestConstantVelocity:
         p0 = np.eye(4)
         init = SLAMSystem._constant_velocity_init([p0])
         assert np.allclose(init, p0)
+
+
+class TestEvalQualityEdges:
+    def test_every_larger_than_run_evaluates_first_frame_only(
+            self, sequence, sparse_result):
+        q = sparse_result.eval_quality(sequence,
+                                       every=sparse_result.num_frames + 10)
+        assert q["frames_evaluated"] == 1
+        assert q["psnr"] > 0.0
+
+    def test_every_zero_clamps_to_all_frames(self, sequence, sparse_result):
+        q = sparse_result.eval_quality(sequence, every=0)
+        assert q["frames_evaluated"] == sparse_result.num_frames
+
+    def test_negative_every_clamps_too(self, sequence, sparse_result):
+        q = sparse_result.eval_quality(sequence, every=-3)
+        assert q["frames_evaluated"] == sparse_result.num_frames
+
+    def test_every_one_matches_zero(self, sequence, sparse_result):
+        assert (sparse_result.eval_quality(sequence, every=1)
+                == sparse_result.eval_quality(sequence, every=0))
+
+
+class TestFlightRecording:
+    def test_run_with_recorder_reproduces_ate(self, sequence, tmp_path):
+        from repro.obs.flight import FlightRecorder, read_flight_record
+        path = str(tmp_path / "run.jsonl")
+        rec = FlightRecorder()
+        rec.enable(path)
+        result = SLAMSystem(
+            "splatam", mode="sparse",
+            splatonic_config=SplatonicConfig(tracking_tile=8)).run(
+                sequence, n_frames=4, flight=rec)
+        rec.disable()
+        log = read_flight_record(path)
+        assert log.num_frames == 4
+        assert log.summary["ate"]["rmse"] == pytest.approx(
+            result.ate().rmse, rel=1e-12)
+
+    def test_custom_health_monitor_without_recorder(self, sequence):
+        from repro.obs.health import HealthMonitor
+        mon = HealthMonitor()
+        SLAMSystem(
+            "splatam", mode="sparse",
+            splatonic_config=SplatonicConfig(tracking_tile=8)).run(
+                sequence, n_frames=4, health=mon)
+        # The stream was watched (state advanced) even with no recorder.
+        assert mon._last_position is not None
+        assert mon.alerts == []
