@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_slam.add_argument("--width", type=int, default=64)
     p_slam.add_argument("--height", type=int, default=48)
     p_slam.add_argument("--tracking-tile", type=int, default=8)
+    p_slam.add_argument("--kernel-backend",
+                        choices=["reference", "vectorized"], default=None,
+                        help="sparse-kernel backend (default: "
+                             "$REPRO_KERNEL_BACKEND or 'reference')")
+    p_slam.add_argument("--per-pixel-records", action="store_true",
+                        help="keep the per-item stats record lists during "
+                             "the run (off by default: nothing in this "
+                             "command reads them)")
     p_slam.add_argument("--seed", type=int, default=0)
     p_slam.add_argument("--out", default=None,
                         help="directory for trajectory/cloud/render outputs")
@@ -113,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--width", type=int, default=48)
     p_trace.add_argument("--height", type=int, default=36)
     p_trace.add_argument("--tracking-tile", type=int, default=8)
+    p_trace.add_argument("--kernel-backend",
+                         choices=["reference", "vectorized"], default=None,
+                         help="sparse-kernel backend (default: "
+                              "$REPRO_KERNEL_BACKEND or 'reference')")
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", default="trace.json",
                          help="Chrome trace-event JSON output path")
@@ -135,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
     b_run.add_argument("--scenarios", default=None,
                        help="comma-separated scenario subset (default: all)")
     b_run.add_argument("--sequence", default="room0")
+    b_run.add_argument("--kernel-backend",
+                       choices=["reference", "vectorized"], default=None,
+                       help="sparse-kernel backend for the suite's "
+                            "renders (exported as $REPRO_KERNEL_BACKEND; "
+                            "the 'kernels' scenario always measures both)")
     b_run.add_argument("--seed", type=int, default=0)
     b_run.add_argument("--out", default="BENCH_trajectory.json",
                        help="trajectory JSON output path")
@@ -211,7 +228,10 @@ def _cmd_slam(args) -> int:
     sequence = _make_sequence(args)
     system = SLAMSystem(
         args.algorithm, mode=args.mode,
-        splatonic_config=SplatonicConfig(tracking_tile=args.tracking_tile),
+        splatonic_config=SplatonicConfig(
+            tracking_tile=args.tracking_tile,
+            kernel_backend=args.kernel_backend,
+            record_per_pixel=args.per_pixel_records),
         seed=args.seed)
     flight = None
     health = None
@@ -340,9 +360,13 @@ def _cmd_trace(args) -> int:
     note = log.debug if args.json else log.info
 
     sequence = _make_sequence(args, note=note)
+    # Per-item records stay on: ingest_pipeline_stats derives the
+    # warp-utilization metrics from them.
     system = SLAMSystem(
         args.algorithm, mode=args.mode,
-        splatonic_config=SplatonicConfig(tracking_tile=args.tracking_tile),
+        splatonic_config=SplatonicConfig(
+            tracking_tile=args.tracking_tile,
+            kernel_backend=args.kernel_backend),
         seed=args.seed)
     note(f"tracing {args.algorithm} ({args.mode}) ...")
     with trace.capture():
@@ -394,8 +418,14 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_bench_run(args) -> int:
+    import os
+
     from .obs import bench as obs_bench
 
+    if args.kernel_backend:
+        # Scenarios build their own systems; the environment variable is
+        # the one channel that reaches all of them.
+        os.environ["REPRO_KERNEL_BACKEND"] = args.kernel_backend
     cfg = obs_bench.SuiteConfig(size=args.size, repetitions=args.reps,
                                 sequence=args.sequence, seed=args.seed)
     names = ([s.strip() for s in args.scenarios.split(",") if s.strip()]

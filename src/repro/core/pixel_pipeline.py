@@ -18,6 +18,16 @@ The backward pass reuses the per-pixel sorted list and the cached ``Gamma``
 / prefix-color values from the forward pass (the accelerator stores them in
 the rasterization engine's double buffer), computes partial gradients in
 parallel, and aggregates them per Gaussian.
+
+This module orchestrates the *stages* — candidate generation over a
+flattened CSR-style (pixel, Gaussian) pair list, the shared preemptive-α
+filter, and counter accounting — and dispatches sort + composite +
+backward to a swappable kernel backend (:mod:`repro.render.kernels`):
+``"reference"`` is the auditable per-pixel loop, ``"vectorized"`` the
+batched segmented implementation; both are bit-identical.  Select with the
+``backend=`` argument, ``SplatonicConfig.kernel_backend``, the CLI
+``--kernel-backend`` flag, or the ``REPRO_KERNEL_BACKEND`` environment
+variable.
 """
 
 from __future__ import annotations
@@ -40,11 +50,15 @@ from ..render.compositing import (
     ALPHA_THRESHOLD,
     T_MIN,
     CompositeCache,
-    composite_backward,
-    composite_forward,
 )
+from ..render.kernels import get_kernel, resolve_backend
+from ..render.kernels.candidates import (
+    CandidatePairs,
+    candidate_pairs,
+    lattice_pair_arrays,
+)
+from ..render.kernels.vectorized import FlatCompositeCache
 from ..render.projection import ProjectedGaussians, project_gaussians
-from ..render.sorting import sort_by_depth
 from ..render.stats import PipelineStats
 
 __all__ = ["SparseRenderResult", "render_sparse", "backward_sparse",
@@ -65,6 +79,12 @@ class SparseRenderResult:
     pixel_lists: List[np.ndarray]          # per-pixel sorted proj indices
     caches: List[Optional[CompositeCache]]
     stats: PipelineStats = field(default_factory=PipelineStats)
+    # Which kernel backend produced this result; the backward pass must
+    # use the same one (the cache layouts differ).
+    backend: str = "reference"
+    # Vectorized backend only: the padded whole-batch composite cache
+    # (per-pixel ``caches`` entries stay None in that backend).
+    flat_cache: Optional[FlatCompositeCache] = None
 
     @property
     def final_transmittance(self) -> np.ndarray:
@@ -92,32 +112,19 @@ def bbox_candidate_ranges(pixels: np.ndarray, bbox: np.ndarray,
     sampled-pixel list index of any pixel is a pure function of its tile
     coordinates.  For each Gaussian the four bbox corners therefore bound a
     *contiguous 2D index range* in the sampled-pixel lattice — no scan of
-    the whole pixel list is needed.
+    the whole pixel list is needed.  Fully vectorized: the tile ranges of
+    all Gaussians are expanded with index arithmetic in one shot (see
+    :func:`repro.render.kernels.candidates.lattice_pair_arrays`).
 
     Returns, per Gaussian, the indices into ``pixels`` whose coordinates
     fall inside its bounding box.  ``pixels`` must be the row-major sorted
     one-per-tile lattice produced by ``sample_tracking_pixels``.
     """
     pixels = np.asarray(pixels, dtype=int)
-    tiles_x = -(-width // tile)
-    out: List[np.ndarray] = []
-    for u_min, v_min, u_max, v_max in bbox:
-        tx0 = max(int(u_min // tile), 0)
-        ty0 = max(int(v_min // tile), 0)
-        tx1 = int(u_max // tile)
-        ty1 = int(v_max // tile)
-        cand: List[int] = []
-        for ty in range(ty0, ty1 + 1):
-            base = ty * tiles_x
-            for tx in range(tx0, min(tx1, tiles_x - 1) + 1):
-                k = base + tx
-                if k >= len(pixels):
-                    break
-                u, v = pixels[k]
-                if u_min <= u + 0.5 <= u_max and v_min <= v + 0.5 <= v_max:
-                    cand.append(k)
-        out.append(np.asarray(cand, dtype=int))
-    return out
+    bbox = np.asarray(bbox, dtype=float)
+    k, g = lattice_pair_arrays(pixels, bbox, tile, width)
+    counts = np.bincount(g, minlength=bbox.shape[0])
+    return np.split(k, np.cumsum(counts)[:-1])
 
 
 def render_sparse(
@@ -130,6 +137,9 @@ def render_sparse(
     keep_cache: bool = True,
     preemptive_alpha: bool = True,
     exp_fn=np.exp,
+    backend: Optional[str] = None,
+    lattice_tile: Optional[int] = None,
+    record_per_pixel: bool = True,
 ) -> SparseRenderResult:
     """Render only the sampled ``pixels`` with the pixel-based pipeline.
 
@@ -138,11 +148,21 @@ def render_sparse(
     rasterization (sorting and rasterizing the full candidate list), which
     reproduces the workload of a pipeline without the optimization.
     ``exp_fn`` substitutes an approximate exponential (LUT ablation).
+
+    ``backend`` picks the kernel implementation (``"reference"`` /
+    ``"vectorized"``; default resolves via ``$REPRO_KERNEL_BACKEND``).
+    ``lattice_tile`` is a candidate-generation hint: when the pixels form
+    the row-major one-per-tile lattice of that tile size (tracking's
+    layout), candidates come from direct index arithmetic instead of a
+    bbox scan.  ``record_per_pixel=False`` skips the per-item stats record
+    lists (hardware-model replay streams); scalar counters are unaffected.
     """
     intr = camera.intrinsics
     bg = DEFAULT_BACKGROUND if background is None else np.asarray(background, float)
     pixels = np.atleast_2d(np.asarray(pixels, dtype=int))
     K = pixels.shape[0]
+    backend_name = resolve_backend(backend)
+    kernel = get_kernel(backend_name)
 
     with trace.span("render.project", pipeline="pixel"):
         proj = project_gaussians(cloud, camera)
@@ -153,82 +173,60 @@ def render_sparse(
         num_gaussians=len(cloud),
         num_projected=len(proj),
         num_pixels=K,
+        record_per_pixel=record_per_pixel,
     )
 
     color = np.tile(bg, (K, 1))
     depth = np.zeros(K)
     silhouette = np.zeros(K)
-    pixel_lists: List[np.ndarray] = []
-    caches: List[Optional[CompositeCache]] = []
 
     if len(proj) == 0 or K == 0:
-        pixel_lists = [np.zeros(0, dtype=int) for _ in range(K)]
-        caches = [None] * K
-        stats.per_pixel_contribs = [0] * K
-        return SparseRenderResult(pixels, color, depth, silhouette, proj,
-                                  pixel_lists, caches, stats)
+        if record_per_pixel:
+            stats.per_pixel_contribs = [0] * K
+        return SparseRenderResult(
+            pixels, color, depth, silhouette, proj,
+            [np.zeros(0, dtype=int) for _ in range(K)], [None] * K, stats,
+            backend=backend_name)
 
-    with trace.span("render.alpha_check", pipeline="pixel"):
-        centres = pixels + 0.5
-        # Per-pixel projection: bbox test of every (pixel, Gaussian) pair.
-        du = centres[:, 0:1] - proj.mean2d[None, :, 0]
-        dv = centres[:, 1:2] - proj.mean2d[None, :, 1]
-        r = proj.radius[None, :]
-        in_bbox = (np.abs(du) <= r) & (np.abs(dv) <= r)
-        bbox_hits = int(in_bbox.sum())
-        stats.num_candidate_pairs += bbox_hits
-
-        if preemptive_alpha:
-            # Preemptive alpha-checking happens in the projection stage.
+    centres = pixels + 0.5
+    with trace.span("render.alpha_check", pipeline="pixel",
+                    backend=backend_name):
+        pairs = candidate_pairs(
+            pixels, centres, proj.bbox(),
+            lattice_tile=lattice_tile, width=intr.width,
+            pixel_major=kernel.needs_pixel_major_pairs)
+        n_candidates = pairs.size
+        stats.num_candidate_pairs += n_candidates
+        # α is evaluated once per candidate either way: preemptively here,
+        # or inside rasterization when the ablation disables the filter.
+        stats.num_alpha_checks += n_candidates
+        pair_alpha = pair_clipped = None
+        if n_candidates and (preemptive_alpha or kernel.wants_pair_alpha):
+            du = centres[pairs.pix, 0] - proj.mean2d[pairs.gss, 0]
+            dv = centres[pairs.pix, 1] - proj.mean2d[pairs.gss, 1]
             d2 = du * du + dv * dv
-            inv_2var = 1.0 / (2.0 * proj.sigma2d * proj.sigma2d)
-            alpha = np.minimum(
-                proj.opacity[None, :] * exp_fn(-d2 * inv_2var[None, :]),
-                ALPHA_MAX)
-            survives = in_bbox & (alpha >= alpha_threshold)
-            stats.num_alpha_checks += bbox_hits
-        else:
-            survives = in_bbox
+            sig = proj.sigma2d[pairs.gss]
+            inv_2var = 1.0 / (2.0 * sig * sig)
+            alpha_raw = proj.opacity[pairs.gss] * exp_fn(-d2 * inv_2var)
+            pair_clipped = alpha_raw > ALPHA_MAX
+            pair_alpha = np.minimum(alpha_raw, ALPHA_MAX)
+            if preemptive_alpha:
+                keep = pair_alpha >= alpha_threshold
+                pairs = CandidatePairs(pairs.pix[keep], pairs.gss[keep], K)
+                pair_alpha = pair_alpha[keep]
+                pair_clipped = pair_clipped[keep]
+    stats.num_sort_keys += pairs.size
 
-    composite_span = trace.span("render.composite", pipeline="pixel",
-                                pixels=K)
-    composite_span.__enter__()
-    for k in range(K):
-        cand = np.nonzero(survives[k])[0]
-        cand = sort_by_depth(cand, proj.depth)
-        pixel_lists.append(cand)
-        stats.num_sort_keys += cand.size
-        stats.pixel_list_lengths.append(int(cand.size))
-        if cand.size == 0:
-            caches.append(None)
-            stats.per_pixel_contribs.append(0)
-            continue
-        out_color, out_depth, out_sil, cache = composite_forward(
-            centres[k:k + 1],
-            proj.mean2d[cand],
-            proj.sigma2d[cand],
-            proj.depth[cand],
-            proj.opacity[cand],
-            proj.color[cand],
-            bg,
-            alpha_threshold=alpha_threshold,
-            t_min=t_min,
-            exp_fn=exp_fn,
-        )
-        color[k] = out_color[0]
-        depth[k] = out_depth[0]
-        silhouette[k] = out_sil[0]
-        if not preemptive_alpha:
-            # alpha-checking is paid inside rasterization instead.
-            stats.num_alpha_checks += cand.size
-        contribs = int(cache.contrib.sum())
-        stats.num_contrib_pairs += contribs
-        stats.per_pixel_contribs.append(contribs)
-        caches.append(cache if keep_cache else None)
-    composite_span.__exit__(None, None, None)
+    with trace.span("render.composite", pipeline="pixel", pixels=K,
+                    backend=backend_name):
+        pixel_lists, caches, flat_cache = kernel.forward(
+            proj, pairs, centres, bg, alpha_threshold, t_min, keep_cache,
+            exp_fn, stats, color, depth, silhouette,
+            pair_alpha=pair_alpha, pair_clipped=pair_clipped)
 
     return SparseRenderResult(pixels, color, depth, silhouette, proj,
-                              pixel_lists, caches, stats)
+                              pixel_lists, caches, stats,
+                              backend=backend_name, flat_cache=flat_cache)
 
 
 def backward_sparse(
@@ -244,10 +242,12 @@ def backward_sparse(
     Gradients arrive per sampled pixel (``(K, 3)``, ``(K,)``, ``(K,)``).
     The per-pixel sorted lists and cached transmittances from the forward
     pass are reused — no α-rechecking, matching the accelerator's Γ/C
-    double buffer (Sec. V-B).
+    double buffer (Sec. V-B).  The kernel backend that produced ``result``
+    also runs its backward (the cache layouts differ per backend).
     """
     proj = result.proj
     K = result.pixels.shape[0]
+    kernel = get_kernel(result.backend)
     pg = ProjectedGradients.zeros(len(proj))
     stats = PipelineStats(
         pipeline="pixel",
@@ -256,40 +256,17 @@ def backward_sparse(
         num_gaussians=len(cloud),
         num_projected=len(proj),
         num_pixels=K,
+        record_per_pixel=result.stats.record_per_pixel,
     )
     d_color = np.atleast_2d(np.asarray(d_color, dtype=float))
     d_depth = np.atleast_1d(np.asarray(d_depth, dtype=float))
     d_silhouette = np.atleast_1d(np.asarray(d_silhouette, dtype=float))
 
-    bwd_span = trace.span("render.pixel_bwd", pipeline="pixel", pixels=K)
-    bwd_span.__enter__()
-    for k in range(K):
-        cand = result.pixel_lists[k]
-        cache = result.caches[k]
-        if cache is None or cand.size == 0:
-            continue
-        pair = composite_backward(
-            cache,
-            proj.mean2d[cand],
-            proj.sigma2d[cand],
-            proj.depth[cand],
-            proj.opacity[cand],
-            proj.color[cand],
-            d_color[k:k + 1],
-            d_depth[k:k + 1],
-            d_silhouette[k:k + 1],
-        )
-        pg.accumulate(cand, pair)
-        stats.num_candidate_pairs += cand.size
-        stats.num_contrib_pairs += pair.num_pairs_touched
-        stats.num_atomic_adds += pair.num_pairs_touched
-        stats.pixel_list_lengths.append(int(cand.size))
-        stats.per_pixel_contribs.append(pair.num_pairs_touched)
-        stats.pixel_contrib_ids.append(
-            proj.source_index[cand[cache.contrib[0]]])
-
-    with trace.span("render.reproject", pipeline="pixel"):
-        grads = reproject_gradients(proj, cloud, camera, pg)
-    bwd_span.__exit__(None, None, None)
+    with trace.span("render.pixel_bwd", pipeline="pixel", pixels=K,
+                    backend=result.backend):
+        kernel.backward(result, proj, d_color, d_depth, d_silhouette,
+                        pg, stats)
+        with trace.span("render.reproject", pipeline="pixel"):
+            grads = reproject_gradients(proj, cloud, camera, pg)
     grads.stats = stats
     return grads

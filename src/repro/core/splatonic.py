@@ -48,6 +48,14 @@ class SplatonicConfig:
     # "one full-frame mapping for every four frames"; older keyframes in
     # the window always stay sparse.
     full_mapping_every: int = 1
+    # Sparse-kernel backend ("reference" / "vectorized"); None resolves via
+    # $REPRO_KERNEL_BACKEND, falling back to the registry default.
+    kernel_backend: Optional[str] = None
+    # Per-item stats record lists (pixel_list_lengths, per_pixel_contribs,
+    # pixel_contrib_ids, tile_work).  The hardware-model replay streams need
+    # them; long SLAM / benchmark runs turn them off to keep rendering free
+    # of unbounded Python-list appends.  Scalar counters are unaffected.
+    record_per_pixel: bool = True
 
     def with_overrides(self, **kwargs) -> "SplatonicConfig":
         return replace(self, **kwargs)
@@ -114,14 +122,23 @@ class Splatonic:
     def render_sparse(self, cloud: GaussianCloud, camera: Camera,
                       pixels: np.ndarray,
                       background: Optional[np.ndarray] = None,
-                      keep_cache: bool = True) -> SparseRenderResult:
-        """Pixel-based forward pass over the sampled pixels."""
+                      keep_cache: bool = True,
+                      lattice_tile: Optional[int] = None) -> SparseRenderResult:
+        """Pixel-based forward pass over the sampled pixels.
+
+        ``lattice_tile`` hints that ``pixels`` is the row-major one-per-tile
+        lattice of that tile size (tracking's layout), enabling
+        direct-indexing candidate generation.
+        """
         return render_sparse(
             cloud, camera, pixels, background,
             alpha_threshold=self.config.alpha_threshold,
             t_min=self.config.t_min,
             keep_cache=keep_cache,
             preemptive_alpha=self.config.preemptive_alpha,
+            backend=self.config.kernel_backend,
+            lattice_tile=lattice_tile,
+            record_per_pixel=self.config.record_per_pixel,
         )
 
     def backward_sparse(self, result: SparseRenderResult,
@@ -142,4 +159,5 @@ class Splatonic:
             alpha_threshold=self.config.alpha_threshold,
             t_min=self.config.t_min,
             keep_cache=keep_cache,
+            record_per_pixel=self.config.record_per_pixel,
         )

@@ -32,6 +32,7 @@ def _upscale_stats(stats: PipelineStats, pixel_factor: float,
     return PipelineStats(
         pipeline=stats.pipeline,
         tile_size=stats.tile_size,
+        record_per_pixel=stats.record_per_pixel,
         image_width=int(round(stats.image_width * scale_side)),
         image_height=int(round(stats.image_height * scale_side)),
         num_gaussians=int(stats.num_gaussians * fg),
@@ -103,6 +104,9 @@ def measure_iteration(
     pixels: Optional[np.ndarray] = None,
     background: Optional[np.ndarray] = None,
     name: Optional[str] = None,
+    backend: Optional[str] = None,
+    lattice_tile: Optional[int] = None,
+    record_per_pixel: bool = True,
 ) -> Workload:
     """Run one fwd+bwd iteration and capture its workload counters.
 
@@ -110,7 +114,10 @@ def measure_iteration(
     (Org.+S: sparse pixels through the tile pipeline, requires ``pixels``),
     or ``"pixel"`` (the SPLATONIC pipeline, requires ``pixels``).
     A unit photometric+depth gradient is used — the hardware models only
-    read counters, not values.
+    read counters, not values.  ``backend`` / ``lattice_tile`` select the
+    sparse kernel backend and candidate-generation hint (pixel mode only);
+    ``record_per_pixel=False`` drops the per-item record lists (the
+    hardware-model replay streams need them, so the default keeps them).
     """
     from ..slam.losses import LossConfig, rgbd_loss
 
@@ -118,7 +125,8 @@ def measure_iteration(
     cfg = LossConfig()
 
     if mode == "tile":
-        result = render_full(cloud, camera, bg)
+        result = render_full(cloud, camera, bg,
+                             record_per_pixel=record_per_pixel)
         h, w = result.depth.shape
         out = rgbd_loss(result.color.reshape(-1, 3), result.depth.ravel(),
                         result.silhouette.ravel(),
@@ -131,7 +139,8 @@ def measure_iteration(
     elif mode == "tile_sparse":
         if pixels is None:
             raise ValueError("tile_sparse mode needs pixels")
-        result = render_full(cloud, camera, bg, pixels=pixels)
+        result = render_full(cloud, camera, bg, pixels=pixels,
+                             record_per_pixel=record_per_pixel)
         h, w = result.depth.shape
         out = rgbd_loss(result.color.reshape(-1, 3), result.depth.ravel(),
                         result.silhouette.ravel(),
@@ -144,7 +153,9 @@ def measure_iteration(
     elif mode == "pixel":
         if pixels is None:
             raise ValueError("pixel mode needs pixels")
-        result = render_sparse(cloud, camera, pixels, bg)
+        result = render_sparse(cloud, camera, pixels, bg, backend=backend,
+                               lattice_tile=lattice_tile,
+                               record_per_pixel=record_per_pixel)
         ref_c = ref_color[pixels[:, 1], pixels[:, 0]]
         ref_d = ref_depth[pixels[:, 1], pixels[:, 0]]
         out = rgbd_loss(result.color, result.depth, result.silhouette,

@@ -263,8 +263,10 @@ def _scn_slam_e2e(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
     from ..slam import SLAMSystem
 
     bundle = _bundle(cfg)
-    result = SLAMSystem("splatam", mode="sparse", seed=cfg.seed).run(
-        bundle.sequence)
+    # Per-pixel record lists are benchmark dead weight (nothing here reads
+    # them); scalar counters are unaffected by the flag.
+    result = SLAMSystem("splatam", mode="sparse", seed=cfg.seed,
+                        record_per_pixel=False).run(bundle.sequence)
 
     counters: Dict[str, float] = {
         "frames": int(result.num_frames),
@@ -281,6 +283,78 @@ def _scn_slam_e2e(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
 
     info: Dict[str, float] = {
         "ate_rmse_m": float(result.ate().rmse),
+    }
+    return {"counters": counters, "model": {}, "info": info}
+
+
+#: Tracking lattice tile for the kernel-backend scenario — denser than the
+#: suite's tracking tile so the K-pixel batch is large enough to expose
+#: the per-pixel loop's Python overhead (the quantity being measured).
+_KERNEL_TILE = 4
+
+#: Forward+backward repetitions per backend inside one scenario run.
+_KERNEL_REPS = 3
+
+
+@scenario("kernels",
+          "sparse tracking render, reference vs vectorized kernel backend: "
+          "bit-identity check + wall-clock speedup")
+def _scn_kernels(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
+    import numpy as np
+
+    from ..core.pixel_pipeline import backward_sparse, render_sparse
+    from ..core.sampling import sample_tracking_pixels
+
+    bundle = _bundle(cfg)
+    spec = cfg.spec
+    pixels = sample_tracking_pixels(
+        spec.width, spec.height, _KERNEL_TILE, "random",
+        np.random.default_rng(cfg.seed))
+
+    counters: Dict[str, float] = {}
+    walls: Dict[str, float] = {}
+    outputs: Dict[str, Any] = {}
+    for backend in ("reference", "vectorized"):
+        def iteration(record: bool = False):
+            result = render_sparse(
+                bundle.cloud, bundle.camera, pixels,
+                backend=backend, lattice_tile=_KERNEL_TILE,
+                record_per_pixel=record)
+            grads = backward_sparse(
+                result, bundle.cloud, bundle.camera,
+                np.ones_like(result.color), np.ones_like(result.depth),
+                np.ones_like(result.silhouette))
+            return result, grads
+
+        result, grads = iteration()  # warm-up + counter capture
+        for pass_name, stats in (("fwd", result.stats), ("bwd", grads.stats)):
+            for key in _PASS_COUNTERS:
+                counters[f"{backend}.{pass_name}.{key}"] = int(
+                    getattr(stats, key))
+        start = perf_counter()
+        for _ in range(_KERNEL_REPS):
+            result, grads = iteration()
+        walls[backend] = (perf_counter() - start) / _KERNEL_REPS
+        outputs[backend] = (result, grads)
+
+    ref_r, ref_g = outputs["reference"]
+    vec_r, vec_g = outputs["vectorized"]
+    identical = (
+        np.array_equal(ref_r.color, vec_r.color)
+        and np.array_equal(ref_r.depth, vec_r.depth)
+        and np.array_equal(ref_r.silhouette, vec_r.silhouette)
+        and np.array_equal(ref_g.d_means, vec_g.d_means)
+        and np.array_equal(ref_g.d_colors, vec_g.d_colors)
+        and ref_r.stats.as_dict() == vec_r.stats.as_dict()
+        and ref_g.stats.as_dict() == vec_g.stats.as_dict())
+    counters["backends_identical"] = int(identical)
+
+    info = {
+        "wall.reference_s": walls["reference"],
+        "wall.vectorized_s": walls["vectorized"],
+        "speedup.vectorized_over_reference": (
+            walls["reference"] / walls["vectorized"]
+            if walls["vectorized"] else 0.0),
     }
     return {"counters": counters, "model": {}, "info": info}
 

@@ -170,7 +170,9 @@ def backward_full(
         num_gaussians=len(cloud),
         num_projected=len(proj),
         num_pixels=result.grid.width * result.grid.height,
+        record_per_pixel=result.stats.record_per_pixel,
     )
+    record = stats.record_per_pixel
 
     with trace.span("render.tile_bwd", pipeline="tile",
                     gaussians=len(cloud)):
@@ -198,13 +200,14 @@ def backward_full(
             stats.num_alpha_checks += px.shape[0] * idx.size
             stats.num_contrib_pairs += pair.num_pairs_touched
             stats.num_atomic_adds += pair.num_pairs_touched
-            serial_len = int((cache.gamma >= T_MIN).sum(axis=1).max())
-            stats.tile_work.append((idx.size, px.shape[0], serial_len))
-            stats.per_pixel_contribs.extend(
-                int(c) for c in cache.contrib.sum(axis=1))
-            for p in range(px.shape[0]):
-                stats.pixel_contrib_ids.append(
-                    result.proj.source_index[idx[cache.contrib[p]]])
+            if record:
+                serial_len = int((cache.gamma >= T_MIN).sum(axis=1).max())
+                stats.tile_work.append((idx.size, px.shape[0], serial_len))
+                stats.per_pixel_contribs.extend(
+                    int(c) for c in cache.contrib.sum(axis=1))
+                for p in range(px.shape[0]):
+                    stats.pixel_contrib_ids.append(
+                        result.proj.source_index[idx[cache.contrib[p]]])
 
         with trace.span("render.reproject"):
             grads = reproject_gradients(proj, cloud, camera, pg)

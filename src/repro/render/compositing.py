@@ -153,9 +153,15 @@ def composite_forward(
     contrib = passes & alive
 
     weight = np.where(contrib, gamma * alpha, 0.0)
-    out_color = weight @ color
-    depth_map = weight @ depth
-    silhouette = weight.sum(axis=1)
+    # Channel sums as strictly sequential front-to-back reductions (cumsum
+    # along the list, take the last prefix).  A matmul would let BLAS pick
+    # an unspecified reduction order; the sequential order is the one a
+    # padded/batched kernel can reproduce bit-for-bit (appending zeros to
+    # a sequential sum never changes it).
+    out_color = np.cumsum(weight[:, :, None] * color[None, :, :],
+                          axis=1)[:, -1, :]
+    depth_map = np.cumsum(weight * depth[None, :], axis=1)[:, -1]
+    silhouette = np.cumsum(weight, axis=1)[:, -1]
     gamma_final = 1.0 - silhouette
     out_color_bg = out_color + gamma_final[:, None] * background[None, :]
 
@@ -229,15 +235,18 @@ def composite_backward(
     one_minus = np.where(contrib, 1.0 - alpha, 1.0)
     inv_one_minus = 1.0 / np.maximum(one_minus, 1e-12)
 
-    # dOut_ch / d alpha_i = Gamma_i V_i - S_i / (1 - alpha_i)
-    d_alpha = np.zeros((P, L))
-    d_alpha += np.einsum(
-        "pc,plc->pl", d_color,
-        gamma[:, :, None] * color[None, :, :] - suffix_c * inv_one_minus[:, :, None],
-    )
-    d_alpha += d_depth[:, None] * (
+    # dOut_ch / d alpha_i = Gamma_i V_i - S_i / (1 - alpha_i).  The channel
+    # contraction is written as an explicit three-term sum (not einsum) so
+    # the addition order is pinned down and a batched kernel can match it
+    # exactly.
+    term_c = (gamma[:, :, None] * color[None, :, :]
+              - suffix_c * inv_one_minus[:, :, None])
+    d_alpha = (d_color[:, None, 0] * term_c[:, :, 0]
+               + d_color[:, None, 1] * term_c[:, :, 1]
+               + d_color[:, None, 2] * term_c[:, :, 2])
+    d_alpha = d_alpha + d_depth[:, None] * (
         gamma * depth[None, :] - suffix_d * inv_one_minus)
-    d_alpha += d_silhouette[:, None] * (gamma - suffix_s * inv_one_minus)
+    d_alpha = d_alpha + d_silhouette[:, None] * (gamma - suffix_s * inv_one_minus)
     d_alpha = np.where(contrib & ~cache.clipped, d_alpha, 0.0)
 
     # alpha = opacity * g with g = exp(-d2 / (2 sigma^2)).

@@ -64,6 +64,7 @@ def render_full(
     t_min: float = T_MIN,
     keep_cache: bool = True,
     pixels: Optional[np.ndarray] = None,
+    record_per_pixel: bool = True,
 ) -> RenderResult:
     """Render with the tile pipeline.
 
@@ -75,6 +76,9 @@ def render_full(
     keep_cache:
         Set ``False`` for inference-only renders to skip retaining the
         backward-pass caches.
+    record_per_pixel:
+        ``False`` skips the per-item stats record lists (``tile_work``,
+        ``per_pixel_contribs``); scalar counters are unaffected.
     """
     intr = camera.intrinsics
     bg = DEFAULT_BACKGROUND if background is None else np.asarray(background, float)
@@ -106,6 +110,7 @@ def render_full(
         num_pixels=(intr.width * intr.height if pixels is None
                     else pixels.shape[0]),
         num_tile_pairs=table.num_pairs,
+        record_per_pixel=record_per_pixel,
     )
 
     caches: List[Optional[CompositeCache]] = []
@@ -134,6 +139,7 @@ def _composite_tiles(grid, sorted_lists, sample_mask, proj, bg,
                      color, depth, silhouette, caches, tile_pixels):
     """Per-tile compositing loop of :func:`render_full` (fills outputs
     in place)."""
+    record = stats.record_per_pixel
     for tile in range(grid.num_tiles):
         idx = sorted_lists[tile]
         px = grid.tile_pixels(tile)
@@ -148,7 +154,8 @@ def _composite_tiles(grid, sorted_lists, sample_mask, proj, bg,
         stats.num_sort_keys += idx.size
         if idx.size == 0:
             caches.append(None)
-            stats.per_pixel_contribs.extend([0] * px.shape[0])
+            if record:
+                stats.per_pixel_contribs.extend([0] * px.shape[0])
             continue
         centres = px + 0.5
         out_color, out_depth, out_sil, cache = composite_forward(
@@ -174,9 +181,10 @@ def _composite_tiles(grid, sorted_lists, sample_mask, proj, bg,
         # thread walks the sorted list until early termination, and the
         # block runs as long as its slowest pixel (gamma is the exclusive
         # transmittance, so position j was examined iff gamma[j] >= t_min).
-        serial_len = int((cache.gamma >= t_min).sum(axis=1).max())
-        stats.tile_work.append((n_g, n_px, serial_len))
         contribs = cache.contrib.sum(axis=1)
         stats.num_contrib_pairs += int(contribs.sum())
-        stats.per_pixel_contribs.extend(int(c) for c in contribs)
+        if record:
+            serial_len = int((cache.gamma >= t_min).sum(axis=1).max())
+            stats.tile_work.append((n_g, n_px, serial_len))
+            stats.per_pixel_contribs.extend(int(c) for c in contribs)
         caches.append(cache if keep_cache else None)

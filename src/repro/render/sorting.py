@@ -20,11 +20,22 @@ __all__ = ["sort_by_depth", "sort_intersection_table"]
 
 
 def sort_by_depth(indices: np.ndarray, depth: np.ndarray) -> np.ndarray:
-    """Return ``indices`` reordered front-to-back by ``depth[indices]``."""
+    """Return ``indices`` reordered front-to-back by ``depth[indices]``.
+
+    Tie-break (guaranteed): Gaussians at *exactly* equal depth are ordered
+    by ascending projected index — a property of the *values*, not of the
+    input order.  A merely "stable" sort would keep whatever order the
+    caller supplied, so two backends building the same candidate set in
+    different orders could composite co-planar splats differently; keying
+    on ``(depth, index)`` makes the composite order a pure function of the
+    candidate *set*, which is what lets the reference and vectorized
+    kernels (and the tile pipeline) agree bit-for-bit.
+    """
     indices = np.asarray(indices, dtype=int)
     if indices.size == 0:
         return indices
-    order = np.argsort(depth[indices], kind="stable")
+    # lexsort: last key is primary => sort by depth, then by index.
+    order = np.lexsort((indices, depth[indices]))
     return indices[order]
 
 

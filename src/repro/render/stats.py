@@ -66,6 +66,13 @@ class PipelineStats:
     # resolution even in upscaled workloads — consumers normalize by
     # ``num_atomic_adds``.
     pixel_contrib_ids: List[np.ndarray] = field(default_factory=list)
+    # Opt-out switch for the per-item record lists above (replay streams
+    # for the hardware models).  With ``record_per_pixel=False`` the
+    # pipelines skip the per-pixel/per-tile appends entirely — the scalar
+    # counters are unaffected, and ``merge()``/``summary()``/flight-record
+    # consumers keep working on the (empty) lists.  Not a counter: it is
+    # excluded from ``as_dict()``.
+    record_per_pixel: bool = True
 
     def merge(self, other: "PipelineStats") -> "PipelineStats":
         """Accumulate another pass's counters into this one (in place)."""

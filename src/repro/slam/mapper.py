@@ -132,8 +132,9 @@ class Mapper:
         from ..core.sampling import unseen_mask
 
         iters = max_iters if max_iters is not None else self.algo.mapping_iters
-        fwd_stats = PipelineStats(pipeline=self.mode)
-        bwd_stats = PipelineStats(pipeline=self.mode)
+        record = self.splatonic.config.record_per_pixel
+        fwd_stats = PipelineStats(pipeline=self.mode, record_per_pixel=record)
+        bwd_stats = PipelineStats(pipeline=self.mode, record_per_pixel=record)
 
         # First forward pass (dense, once per mapping): Gamma_final map.
         camera = Camera(self.intrinsics, current.pose_c2w)

@@ -101,15 +101,27 @@ class SLAMSystem:
         seed: int = 0,
         background: Optional[np.ndarray] = None,
         bootstrap_stride: int = 2,
+        kernel_backend: Optional[str] = None,
+        record_per_pixel: Optional[bool] = None,
     ):
+        """``kernel_backend`` / ``record_per_pixel`` override the matching
+        :class:`SplatonicConfig` fields when given (``None`` keeps the
+        config's value)."""
         self.algo: AlgorithmConfig = (
             algorithm if isinstance(algorithm, AlgorithmConfig)
             else get_algorithm(algorithm))
         if mode not in ("sparse", "dense"):
             raise ValueError("mode must be 'sparse' or 'dense'")
         self.mode = mode
-        self.splatonic = Splatonic(splatonic_config or SplatonicConfig(),
-                                   rng=np.random.default_rng(seed))
+        config = splatonic_config or SplatonicConfig()
+        overrides = {}
+        if kernel_backend is not None:
+            overrides["kernel_backend"] = kernel_backend
+        if record_per_pixel is not None:
+            overrides["record_per_pixel"] = record_per_pixel
+        if overrides:
+            config = config.with_overrides(**overrides)
+        self.splatonic = Splatonic(config, rng=np.random.default_rng(seed))
         self.background = (np.full(3, 0.05) if background is None
                            else np.asarray(background, float))
         self.bootstrap_stride = bootstrap_stride

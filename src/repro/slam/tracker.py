@@ -93,8 +93,9 @@ class Tracker:
         ])
         adam = Adam(6, lr)
 
-        fwd_stats = PipelineStats(pipeline=self.mode)
-        bwd_stats = PipelineStats(pipeline=self.mode)
+        record = self.splatonic.config.record_per_pixel
+        fwd_stats = PipelineStats(pipeline=self.mode, record_per_pixel=record)
+        bwd_stats = PipelineStats(pipeline=self.mode, record_per_pixel=record)
         if self.mode == "sparse":
             pixels = self.splatonic.sample_tracking(
                 Camera(self.intrinsics, pose), image=ref_color)
@@ -115,7 +116,8 @@ class Tracker:
             if self.mode == "sparse":
                 with trace.span("tracking_fwd", iteration=it):
                     result = self.splatonic.render_sparse(
-                        cloud, camera, pixels, self.background)
+                        cloud, camera, pixels, self.background,
+                        lattice_tile=self.splatonic.config.tracking_tile)
                     out = rgbd_loss(result.color, result.depth,
                                     result.silhouette, ref_c, ref_d,
                                     self.algo.tracking_loss, tracking=True)

@@ -148,6 +148,22 @@ class TestSorting:
         out = sort_by_depth(np.array([0, 1, 2, 3]), depth)
         assert list(out) == [1, 3, 0, 2]
 
+    def test_tie_break_independent_of_input_order(self):
+        """Documented guarantee: equal depths order by projected index,
+        regardless of how the candidate list arrives."""
+        depth = np.array([3.0, 1.5, 3.0, 1.5, 3.0, 0.5])
+        expected = [5, 1, 3, 0, 2, 4]
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            idx = np.arange(6)
+            rng.shuffle(idx)
+            assert list(sort_by_depth(idx, depth)) == expected
+
+    def test_tie_break_on_subset(self):
+        depth = np.array([2.0, 2.0, 2.0, 1.0])
+        out = sort_by_depth(np.array([2, 0, 3]), depth)
+        assert list(out) == [3, 0, 2]
+
     def test_empty(self):
         assert sort_by_depth(np.zeros(0, dtype=int), np.zeros(0)).size == 0
 
