@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     repro slam --sequence room0 --out results/      # run SLAM, save outputs
     repro render --scene-seed 7 --out view.ppm      # render a scene
@@ -8,6 +8,7 @@ Seven subcommands::
     repro trace --frames 4 --out trace.json         # traced proxy SLAM run
     repro bench run|compare|attrib                  # perf-trajectory suite
     repro report run.jsonl                          # flight-record report
+    repro atlas atlas.jsonl.gz                      # sparsity-atlas heatmaps
     repro info                                      # presets + hw summary
 
 ``repro bench`` is the perf-trajectory harness: ``run`` executes the
@@ -21,6 +22,14 @@ per frame (poses, losses, sampling composition, health alerts); ``repro
 report run.jsonl`` renders it as a markdown/HTML run report and ``repro
 report --diff a.jsonl b.jsonl`` aligns two runs frame-by-frame and
 reports where they first diverged (exit 1 on divergence, diff-style).
+
+``repro slam --atlas atlas.jsonl.gz`` additionally records the sparsity
+atlas — per-frame spatial heatmaps of sampled pixels, candidate/contrib
+pairs, Gaussian incidence, and atomic adds — and ``repro atlas`` renders
+the artifact as unicode (or HTML) heatmaps with occupancy histograms and
+measured-vs-modeled tables.  ``repro trace --profile-memory
+--profile-top 15`` adds per-span CPU time and tracemalloc allocation
+deltas and prints the top-N self-time/alloc table.
 
 Global flags: ``-v``/``-q`` adjust log verbosity and ``--trace PATH``
 captures a Chrome trace of *any* subcommand (open it in Perfetto or
@@ -90,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default="warn",
                         help="health-monitor escalation policy "
                              "(default: warn)")
+    p_slam.add_argument("--atlas", metavar="PATH", default=None,
+                        help="record the sparsity atlas (gzip JSONL) to "
+                             "PATH; render it with `repro atlas`")
+    p_slam.add_argument("--atlas-tile", type=int, default=None,
+                        help="atlas binning tile in pixels (default: 8)")
 
     p_render = sub.add_parser("render", help="render a procedural scene or "
                                              "a saved cloud")
@@ -133,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--json", action="store_true",
                          help="print the stage table as key-sorted JSON "
                               "instead of markdown")
+    p_trace.add_argument("--profile-memory", action="store_true",
+                         help="profile per-span allocations with "
+                              "tracemalloc (adds overhead)")
+    p_trace.add_argument("--profile-top", type=int, default=0,
+                         metavar="N",
+                         help="print the top-N spans by self time (and "
+                              "allocations with --profile-memory)")
+    p_trace.add_argument("--profile-out", default=None, metavar="PATH",
+                         help="write the span profile as key-sorted JSON")
 
     p_bench = sub.add_parser(
         "bench", help="perf-trajectory suite: run / compare / attrib")
@@ -166,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(machine-portable; use in CI)")
     b_cmp.add_argument("--no-wall", action="store_true",
                        help="skip the noise-aware wall-time comparison")
+    b_cmp.add_argument("--scenarios", default=None,
+                       help="comma-separated scenario subset to compare "
+                            "(default: every scenario in the baseline)")
+    b_cmp.add_argument("--sections", default=None,
+                       help="comma-separated section subset "
+                            "(counters,model,wall,overhead); overrides "
+                            "--counters-only/--no-wall")
     b_cmp.add_argument("--json-out", default=None,
                        help="optional machine-readable report output path")
 
@@ -200,6 +230,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--out", default=None,
                           help="write the report here instead of stdout")
 
+    p_atlas = sub.add_parser(
+        "atlas", help="render a sparsity-atlas artifact as spatial "
+                      "work heatmaps")
+    p_atlas.add_argument("artifact", metavar="ARTIFACT",
+                         help="atlas path recorded by `repro slam --atlas`")
+    p_atlas.add_argument("--channel", default=None,
+                         choices=["sampled", "candidates", "contribs",
+                                  "gaussians", "atomics"],
+                         help="restrict the heatmaps to one channel "
+                              "(default: all)")
+    p_atlas.add_argument("--frame", type=int, default=None,
+                         help="render one frame's grids instead of the "
+                              "run aggregates")
+    p_atlas.add_argument("--format", choices=["markdown", "html"],
+                         default="markdown",
+                         help="report output format (default: markdown)")
+    p_atlas.add_argument("--out", default=None,
+                         help="write the report here instead of stdout")
+
     sub.add_parser("info", help="print presets and hardware configuration")
     return parser
 
@@ -219,6 +268,7 @@ def _cmd_slam(args) -> int:
     from .core import SplatonicConfig
     from .io import save_cloud, save_ppm, save_trajectory_tum
     from .metrics import rpe
+    from .obs.atlas import AtlasCollector, DEFAULT_ATLAS_TILE
     from .obs.flight import FlightRecorder
     from .obs.health import HealthConfig, HealthMonitor
     from .render import render_full
@@ -235,21 +285,31 @@ def _cmd_slam(args) -> int:
         seed=args.seed)
     flight = None
     health = None
+    atlas = None
     if args.flight_record:
         flight = FlightRecorder()
         flight.enable(args.flight_record)
         health = HealthMonitor(HealthConfig(on_alert=args.on_alert))
+    if args.atlas:
+        atlas = AtlasCollector(tile=args.atlas_tile or DEFAULT_ATLAS_TILE)
+        atlas.enable(args.atlas)
     log.info(f"running {args.algorithm} ({args.mode}) ...")
     try:
-        result = system.run(sequence, flight=flight, health=health)
+        result = system.run(sequence, flight=flight, health=health,
+                            atlas=atlas)
     finally:
         if flight is not None:
             flight.disable()
+        if atlas is not None:
+            atlas.disable()
     if flight is not None:
         n_alerts = len(health.alerts)
         log.info(f"wrote {len(flight.records)} flight records to "
                  f"{args.flight_record} ({n_alerts} health alerts); "
                  f"render with `repro report {args.flight_record}`")
+    if atlas is not None:
+        log.info(f"wrote sparsity atlas ({atlas.tile}px tiles) to "
+                 f"{args.atlas}; render with `repro atlas {args.atlas}`")
 
     ate = result.ate()
     drift = rpe(result.est_trajectory, result.gt_trajectory)
@@ -369,13 +429,16 @@ def _cmd_trace(args) -> int:
             kernel_backend=args.kernel_backend),
         seed=args.seed)
     note(f"tracing {args.algorithm} ({args.mode}) ...")
-    with trace.capture():
+    with trace.capture(memory=args.profile_memory or None):
         result = system.run(sequence)
 
     for stage in SLAMSystem.STAGES:
         ingest_pipeline_stats(stage, result.stage_stats[stage])
 
     n_events = trace.write_chrome_trace(args.out)
+    top_n = args.profile_top
+    if top_n <= 0 and args.profile_memory:
+        top_n = 10  # memory profiling without a table would be silent
     if args.json:
         payload = {
             "scenario": {
@@ -395,13 +458,23 @@ def _cmd_trace(args) -> int:
             "trace_events": n_events,
             "trace_path": args.out,
         }
+        if top_n > 0:
+            from .obs import prof
+            payload["profile"] = prof.top_spans(n=top_n)
         print(json.dumps(payload, indent=1, sort_keys=True))
     else:
         print(trace.format_summary(
             title=f"stage times — {args.algorithm}/{args.mode}, "
                   f"{result.num_frames} frames"))
+        if top_n > 0:
+            from .obs import prof
+            print(prof.format_top_table(n=top_n))
     note(f"wrote {n_events} trace events to {args.out} "
          f"(load in Perfetto / chrome://tracing)")
+    if args.profile_out:
+        from .obs import prof
+        prof.write_profile(args.profile_out)
+        note(f"wrote span profile to {args.profile_out}")
     if args.metrics_out:
         metrics.write_json(args.metrics_out)
         note(f"wrote metrics registry to {args.metrics_out}")
@@ -440,13 +513,43 @@ def _cmd_bench_run(args) -> int:
 def _cmd_bench_compare(args) -> int:
     from .obs import regress
 
-    sections = list(regress.DEFAULT_SECTIONS)
-    if args.counters_only:
-        sections = ["counters"]
-    elif args.no_wall:
-        sections = [s for s in sections if s != "wall"]
-    report = regress.compare_files(args.current, args.baseline,
-                                   sections=sections)
+    if args.sections:
+        sections = [s.strip() for s in args.sections.split(",") if s.strip()]
+        unknown = set(sections) - set(regress.DEFAULT_SECTIONS)
+        if unknown:
+            raise SystemExit(f"unknown sections {sorted(unknown)}; choose "
+                             f"from {list(regress.DEFAULT_SECTIONS)}")
+    else:
+        sections = list(regress.DEFAULT_SECTIONS)
+        if args.counters_only:
+            sections = ["counters"]
+        elif args.no_wall:
+            sections = [s for s in sections if s != "wall"]
+
+    if args.scenarios:
+        # Restrict both payloads to the requested scenarios so a partial
+        # current run (e.g. CI gating one scenario) doesn't report every
+        # other baseline scenario as removed.
+        wanted = {s.strip() for s in args.scenarios.split(",") if s.strip()}
+        report = regress.RegressionReport()
+        docs = {}
+        for label, path in (("baseline", args.baseline),
+                            ("current", args.current)):
+            try:
+                docs[label] = regress.load_trajectory(path)
+            except (OSError, ValueError) as exc:
+                report.errors.append(f"{label} file unreadable: {exc}")
+        if not report.errors:
+            for doc in docs.values():
+                scenarios = doc.get("scenarios")
+                if isinstance(scenarios, dict):
+                    doc["scenarios"] = {k: v for k, v in scenarios.items()
+                                        if k in wanted}
+            report = regress.compare_runs(docs["current"], docs["baseline"],
+                                          sections=sections)
+    else:
+        report = regress.compare_files(args.current, args.baseline,
+                                       sections=sections)
     print(report.format_markdown())
     if args.json_out:
         report.write_json(args.json_out)
@@ -524,6 +627,26 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_atlas(args) -> int:
+    from .obs.atlas import read_atlas
+    from .obs.report import render_atlas_report
+
+    atlas_log = read_atlas(args.artifact)
+    if args.frame is not None and not (
+            0 <= args.frame < atlas_log.num_frames):
+        raise SystemExit(f"frame {args.frame} out of range "
+                         f"(artifact has {atlas_log.num_frames} frames)")
+    text = render_atlas_report(atlas_log, fmt=args.format,
+                               channel=args.channel, frame=args.frame)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        log.info(f"wrote atlas report to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_info(_args) -> int:
     from . import __version__
     from .hw import GpuSpec, SplatonicHwConfig, splatonic_area
@@ -559,6 +682,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "bench": _cmd_bench,
         "report": _cmd_report,
+        "atlas": _cmd_atlas,
         "info": _cmd_info,
     }
     # Global --trace: capture the whole subcommand (the `trace` and `bench`

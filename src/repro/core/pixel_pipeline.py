@@ -40,6 +40,7 @@ import numpy as np
 from ..gaussians.camera import Camera
 from ..gaussians.model import GaussianCloud
 from ..obs import trace
+from ..obs import atlas as _atlas_mod
 from ..render.backward import (
     ProjectedGradients,
     RenderGradients,
@@ -183,6 +184,10 @@ def render_sparse(
     if len(proj) == 0 or K == 0:
         if record_per_pixel:
             stats.per_pixel_contribs = [0] * K
+        if _atlas_mod.current.active:
+            _atlas_mod.current.observe_sparse_forward(
+                pixels, np.zeros(0, dtype=int), np.zeros(0, dtype=int),
+                np.zeros(K, dtype=np.int64))
         return SparseRenderResult(
             pixels, color, depth, silhouette, proj,
             [np.zeros(0, dtype=int) for _ in range(K)], [None] * K, stats,
@@ -200,6 +205,11 @@ def render_sparse(
         # α is evaluated once per candidate either way: preemptively here,
         # or inside rasterization when the ablation disables the filter.
         stats.num_alpha_checks += n_candidates
+        # The atlas bins the *pre-filter* candidate set, so its per-tile
+        # α-pass rates match ``stats.alpha_pass_rate``; keep the arrays
+        # before the preemptive filter replaces ``pairs``.
+        atlas_pix, atlas_gss = ((pairs.pix, pairs.gss)
+                                if _atlas_mod.current.active else (None, None))
         pair_alpha = pair_clipped = None
         if n_candidates and (preemptive_alpha or kernel.wants_pair_alpha):
             du = centres[pairs.pix, 0] - proj.mean2d[pairs.gss, 0]
@@ -217,12 +227,18 @@ def render_sparse(
                 pair_clipped = pair_clipped[keep]
     stats.num_sort_keys += pairs.size
 
+    contribs_out = (np.zeros(K, dtype=np.int64)
+                    if _atlas_mod.current.active else None)
     with trace.span("render.composite", pipeline="pixel", pixels=K,
                     backend=backend_name):
         pixel_lists, caches, flat_cache = kernel.forward(
             proj, pairs, centres, bg, alpha_threshold, t_min, keep_cache,
             exp_fn, stats, color, depth, silhouette,
-            pair_alpha=pair_alpha, pair_clipped=pair_clipped)
+            pair_alpha=pair_alpha, pair_clipped=pair_clipped,
+            contribs_out=contribs_out)
+    if contribs_out is not None:
+        _atlas_mod.current.observe_sparse_forward(pixels, atlas_pix, atlas_gss,
+                                      contribs_out)
 
     return SparseRenderResult(pixels, color, depth, silhouette, proj,
                               pixel_lists, caches, stats,
@@ -262,11 +278,15 @@ def backward_sparse(
     d_depth = np.atleast_1d(np.asarray(d_depth, dtype=float))
     d_silhouette = np.atleast_1d(np.asarray(d_silhouette, dtype=float))
 
+    contribs_out = (np.zeros(K, dtype=np.int64)
+                    if _atlas_mod.current.active else None)
     with trace.span("render.pixel_bwd", pipeline="pixel", pixels=K,
                     backend=result.backend):
         kernel.backward(result, proj, d_color, d_depth, d_silhouette,
-                        pg, stats)
+                        pg, stats, contribs_out=contribs_out)
         with trace.span("render.reproject", pipeline="pixel"):
             grads = reproject_gradients(proj, cloud, camera, pg)
+    if contribs_out is not None:
+        _atlas_mod.current.observe_sparse_backward(result.pixels, contribs_out)
     grads.stats = stats
     return grads

@@ -35,13 +35,21 @@ inside functions:
   runaway densification) with a ``warn``/``raise`` escalation policy.
 - :mod:`repro.obs.report` — run reports (markdown/HTML, sparkline
   summaries) and frame-aligned run-to-run diffing for flight records.
+- :mod:`repro.obs.atlas` — the sparsity atlas: per-frame spatial work
+  heatmaps (sampled pixels, candidate/contrib pairs, per-tile Gaussian
+  incidence, atomic adds) collected from both kernel backends into a
+  schema-versioned gzip artifact, with aggregation + heatmap rendering.
+- :mod:`repro.obs.prof` — the continuous profiler: per-span CPU time
+  and opt-in tracemalloc allocation/peak deltas on the tracer, plus
+  top-N self-time/alloc tables and a JSON profile export.
 
 See README "Observability" and EXPERIMENTS.md "Perf trajectory" /
-"Flight recorder" for the workflow, and DESIGN.md for the span name ↔
-paper stage mapping.
+"Flight recorder" / "Sparsity atlas & profiler" for the workflow, and
+DESIGN.md for the span name ↔ paper stage mapping.
 """
 
-from . import attrib, bench, flight, health, regress, report
+from . import atlas, attrib, bench, flight, health, prof, regress, report
+from .atlas import AtlasCollector, AtlasLog, read_atlas
 from .attrib import AttributionReport, attribute_workload
 from .bench import SuiteConfig, run_suite, write_trajectory
 from .flight import FlightLog, FlightRecorder, read_flight_record
@@ -63,8 +71,9 @@ from .metrics import (
     ingest_stage_times,
     metrics,
 )
+from .prof import format_top_table, profile, top_spans, write_profile
 from .regress import RegressionReport, TolerancePolicy, compare_files, compare_runs
-from .report import RunDiff, diff_runs, render_report
+from .report import RunDiff, diff_runs, render_atlas_report, render_report
 from .tracing import SpanRecord, Tracer, trace
 
 __all__ = [
@@ -107,4 +116,14 @@ __all__ = [
     "RunDiff",
     "diff_runs",
     "render_report",
+    "atlas",
+    "prof",
+    "AtlasCollector",
+    "AtlasLog",
+    "read_atlas",
+    "render_atlas_report",
+    "profile",
+    "top_spans",
+    "format_top_table",
+    "write_profile",
 ]

@@ -359,6 +359,102 @@ def _scn_kernels(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
     return {"counters": counters, "model": {}, "info": info}
 
 
+@scenario("obs_overhead",
+          "observability cost: proxy SLAM with every obs feature off vs "
+          "tracer+metrics+flight+atlas+health all on — gated wall ratio")
+def _scn_obs_overhead(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
+    import numpy as np
+
+    from ..slam import SLAMSystem
+    from .atlas import AtlasCollector, AtlasLog
+    from .flight import FlightRecorder
+    from .health import HealthMonitor
+    from .metrics import MetricsRegistry, ingest_pipeline_stats
+
+    bundle = _bundle(cfg)
+
+    def run_slam(flight=None, health=None, atlas=None):
+        system = SLAMSystem("splatam", mode="sparse", seed=cfg.seed,
+                            record_per_pixel=False)
+        return system.run(bundle.sequence, flight=flight, health=health,
+                          atlas=atlas)
+
+    # All-off leg.  The suite runner keeps the global tracer enabled
+    # around scenario bodies, so it must be disabled explicitly here —
+    # otherwise the "off" leg would already pay the span cost.
+    was_enabled = trace.enabled
+    trace.disable()
+    try:
+        # Untimed warm-up: the first run pays allocator/cache cold-start
+        # costs that would otherwise inflate the all-off leg and bias
+        # the ratio below 1.
+        run_slam()
+        start = perf_counter()
+        result_off = run_slam()
+        off_s = perf_counter() - start
+    finally:
+        if was_enabled:
+            trace.enable(reset=False)
+
+    # All-on leg: tracer + in-memory flight recorder + health monitor +
+    # in-memory atlas collector, then a metrics ingest of the results.
+    flight = FlightRecorder()
+    flight.enable()
+    health = HealthMonitor()
+    collector = AtlasCollector(tile=cfg.spec.tracking_tile)
+    collector.enable()
+    trace.enable(reset=False)
+    spans_before = len(trace.records)
+    try:
+        start = perf_counter()
+        result_on = run_slam(flight=flight, health=health, atlas=collector)
+        on_s = perf_counter() - start
+    finally:
+        spans = len(trace.records) - spans_before
+        if not was_enabled:
+            trace.disable()
+        flight.disable()
+        collector.disable()
+
+    registry = MetricsRegistry()
+    for stage in SLAMSystem.STAGES:
+        ingest_pipeline_stats(stage, result_on.stage_stats[stage],
+                              registry=registry)
+
+    # Observability must be passive: the instrumented run has to produce
+    # the bit-identical trajectory, map, and counters.
+    passive = bool(
+        np.array_equal(result_off.est_trajectory, result_on.est_trajectory)
+        and len(result_off.cloud) == len(result_on.cloud)
+        and all(result_off.stage_stats[s].as_dict()
+                == result_on.stage_stats[s].as_dict()
+                for s in SLAMSystem.STAGES))
+
+    alog = AtlasLog.from_collector(collector)
+    observed = alog.observed_totals()
+    export = registry.export()
+    counters = {
+        "frames": int(result_on.num_frames),
+        "obs_passive": int(passive),
+        "flight.records": int(len(flight.records)),
+        "atlas.frames": int(alog.num_frames),
+        "atlas.candidates": int(sum(v["candidates"]
+                                    for v in observed.values())),
+        "atlas.atomics": int(sum(v["atomics"] for v in observed.values())),
+        "spans": int(spans),
+        "metrics.counters": int(len(export["counters"])),
+        "metrics.gauges": int(len(export["gauges"])),
+    }
+    info = {
+        "wall.all_off_s": off_s,
+        "wall.all_on_s": on_s,
+        "overhead_ratio": (on_s / off_s) if off_s > 0 else 0.0,
+    }
+    overhead = {"ratio": (on_s / off_s) if off_s > 0 else 0.0}
+    return {"counters": counters, "model": {}, "info": info,
+            "overhead": overhead}
+
+
 @scenario("hw_units",
           "hardware-unit replays on the mapping pixel workload: "
           "aggregation scoreboard, hierarchical sorter, DRAM traffic")
@@ -415,6 +511,7 @@ def _resolve_scenarios(names: Optional[Iterable[str]]) -> List[Scenario]:
 
 def _run_scenario(scn: Scenario, cfg: SuiteConfig) -> Dict[str, Any]:
     samples: List[float] = []
+    overhead_samples: List[float] = []
     sections: Optional[Dict[str, Dict[str, float]]] = None
     stable = True
     with trace.capture():
@@ -425,6 +522,8 @@ def _run_scenario(scn: Scenario, cfg: SuiteConfig) -> Dict[str, Any]:
             if sections is not None and out["counters"] != sections["counters"]:
                 stable = False
             sections = out
+            if "overhead" in out:
+                overhead_samples.append(float(out["overhead"]["ratio"]))
         stage_rows = trace.stage_table()
     assert sections is not None
 
@@ -432,7 +531,7 @@ def _run_scenario(scn: Scenario, cfg: SuiteConfig) -> Dict[str, Any]:
     if not stable:
         log.warning(f"{scn.name}: counters varied across repetitions — "
                     f"the scenario is not deterministic")
-    return {
+    result: Dict[str, Any] = {
         "description": scn.description,
         "counters": {k: int(v) for k, v in sorted(sections["counters"].items())},
         "model": {k: float(v) for k, v in sorted(sections["model"].items())},
@@ -450,6 +549,18 @@ def _run_scenario(scn: Scenario, cfg: SuiteConfig) -> Dict[str, Any]:
               "self_s": round(r["self_s"], 6)} for r in stage_rows),
             key=lambda row: row["span"]),
     }
+    if overhead_samples:
+        # Optional gated section: the observability-overhead ratio
+        # (all-on / all-off wall time).  Compared by repro.obs.regress
+        # against a hard budget — median + MAD like the wall section.
+        omed, omad = median_mad(overhead_samples)
+        result["overhead"] = {
+            "ratio": round(omed, 4),
+            "mad": round(omad, 4),
+            "samples": [round(s, 4) for s in overhead_samples],
+            "repetitions": cfg.repetitions,
+        }
+    return result
 
 
 def run_suite(config: Optional[SuiteConfig] = None,

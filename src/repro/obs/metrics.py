@@ -6,7 +6,8 @@ utilization) and the *modeled-hardware* view (stage latencies, aggregation
 cache hit rates, modeled cycles/energy).  Everything lands in a
 :class:`MetricsRegistry` whose :meth:`~MetricsRegistry.export` is
 deterministic (sorted keys, plain python scalars) so benches can diff
-``BENCH_obs.json`` across PRs.
+exported payloads (e.g. the ``BENCH_trajectory.json`` artifacts of
+``repro bench``) across PRs.
 
 The ``ingest_*`` bridge functions translate the existing result objects —
 they duck-type their inputs, so this module imports nothing from the rest
@@ -159,6 +160,10 @@ def ingest_pipeline_stats(stage: str, stats,
             if key.startswith("num_"):
                 reg.inc(f"{stage}.{key}", value)
     for key, value in stats.summary().items():
+        if value is None:
+            # Record-gated rates (warp utilization, mean contribs) are
+            # n/a when per-pixel records were off; don't fake a gauge.
+            continue
         reg.set_gauge(f"{stage}.{key}", value)
 
 

@@ -1,0 +1,113 @@
+"""Continuous-profiler front end over the span tracer.
+
+The tracer (``repro.obs.tracing``) records wall *and* CPU time per span,
+and — behind the opt-in memory flag — tracemalloc allocation/peak deltas.
+This module turns those records into the profiler deliverables:
+
+- :func:`profile` — capture context manager with memory profiling opt-in;
+- :func:`top_spans` — the top-N spans by any aggregate column
+  (``self_s`` by default, ``alloc_bytes`` for the allocation view);
+- :func:`format_top_table` — the markdown top-N self-time/alloc table;
+- :func:`write_profile` — schema-versioned, key-sorted JSON export.
+
+Everything operates on the module tracer by default but accepts an
+explicit :class:`~repro.obs.tracing.Tracer` for isolated captures.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from .tracing import Tracer, trace
+
+__all__ = ["PROFILE_SCHEMA_VERSION", "profile", "top_spans",
+           "format_top_table", "write_profile"]
+
+PROFILE_SCHEMA_VERSION = 1
+
+#: Columns a top-N table may be ranked by.
+_SORT_KEYS = ("self_s", "total_s", "cpu_self_s", "cpu_total_s",
+              "alloc_bytes", "peak_bytes", "count")
+
+
+@contextmanager
+def profile(memory: bool = False, tracer: Optional[Tracer] = None):
+    """Capture spans (with CPU time, optionally allocations) in a block."""
+    t = tracer if tracer is not None else trace
+    with t.capture(memory=memory or None):
+        yield t
+
+
+def top_spans(tracer: Optional[Tracer] = None, n: int = 10,
+              by: str = "self_s") -> List[Dict[str, Any]]:
+    """The ``n`` heaviest aggregate rows, ranked by column ``by``."""
+    if by not in _SORT_KEYS:
+        raise ValueError(f"unknown sort column {by!r}; one of {_SORT_KEYS}")
+    t = tracer if tracer is not None else trace
+    rows = t.stage_table()
+    rows.sort(key=lambda row: -(row.get(by) or 0))
+    return rows[:n]
+
+
+def _fmt_bytes(value: Optional[int]) -> str:
+    if value is None:
+        return "—"
+    sign = "-" if value < 0 else ""
+    mag = abs(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if mag < 1024 or unit == "GiB":
+            return f"{sign}{mag:.1f} {unit}" if unit != "B" \
+                else f"{sign}{mag:d} B"
+        mag /= 1024
+    return f"{sign}{mag:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def format_top_table(tracer: Optional[Tracer] = None, n: int = 10,
+                     by: str = "self_s",
+                     title: Optional[str] = None) -> str:
+    """Markdown top-N table: wall + CPU self time and (if on) allocs."""
+    t = tracer if tracer is not None else trace
+    rows = top_spans(t, n=n, by=by)
+    has_mem = any("alloc_bytes" in row for row in rows)
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+    header = "| span | count | self ms | cpu self ms |"
+    rule = "|---|---:|---:|---:|"
+    if has_mem:
+        header += " alloc | peak |"
+        rule += "---:|---:|"
+    lines += [header, rule]
+    for row in rows:
+        line = (f"| {row['span']} | {row['count']} "
+                f"| {row['self_s'] * 1e3:.2f} "
+                f"| {row['cpu_self_s'] * 1e3:.2f} |")
+        if has_mem:
+            line += (f" {_fmt_bytes(row.get('alloc_bytes'))} "
+                     f"| {_fmt_bytes(row.get('peak_bytes'))} |")
+        lines.append(line)
+    if not rows:
+        empty = "| (no spans recorded) | 0 | 0.00 | 0.00 |"
+        if has_mem:
+            empty += " — | — |"
+        lines.append(empty)
+    return "\n".join(lines)
+
+
+def write_profile(path: str, tracer: Optional[Tracer] = None,
+                  n: int = 50, by: str = "self_s") -> int:
+    """Write the top-N aggregate rows as key-sorted JSON; returns count."""
+    t = tracer if tracer is not None else trace
+    rows = top_spans(t, n=n, by=by)
+    payload = {
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "sorted_by": by,
+        "memory_profiled": any("alloc_bytes" in row for row in rows),
+        "spans": rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return len(rows)

@@ -13,6 +13,10 @@ The comparator walks the scenario sections of two
 - ``wall``     — median wall seconds, noise-aware: a regression needs to
   exceed the baseline median by a relative margin *and* several MADs
   (whichever slack is largest, with an absolute floor for micro-scenarios).
+- ``overhead`` — the observability-overhead budget: the ``obs_overhead``
+  scenario's all-on/all-off wall ratio must not exceed the committed
+  baseline ratio beyond a hard slack.  Compared only when both payloads
+  carry the section (like ``wall``), so old baselines keep working.
 
 Missing scenarios/metrics in the current run fail (``removed``); new
 ones pass with a note (``new``).  Schema-version or file problems are
@@ -37,7 +41,7 @@ __all__ = [
 ]
 
 #: Sections of a scenario payload the gate inspects, in report order.
-DEFAULT_SECTIONS = ("counters", "model", "wall")
+DEFAULT_SECTIONS = ("counters", "model", "wall", "overhead")
 
 
 @dataclass(frozen=True)
@@ -54,6 +58,13 @@ class TolerancePolicy:
     model_rel: float = 1e-6
     #: Absolute floor for modeled metrics with zero-valued baselines.
     model_abs: float = 1e-12
+    #: Observability-overhead budget: the all-on/all-off wall ratio may
+    #: exceed the committed baseline ratio by at most this relative slack...
+    overhead_rel: float = 0.35
+    #: ... with this absolute ratio floor (small scenarios jitter), and
+    overhead_abs: float = 0.5
+    #: the excess must also clear this many MADs (max of both runs').
+    overhead_mad_factor: float = 4.0
 
 
 @dataclass
@@ -62,7 +73,8 @@ class Finding:
 
     scenario: str
     metric: str
-    kind: str                     # "counter" | "model" | "wall" | "scenario"
+    kind: str                     # "counter" | "model" | "wall"
+                                  # | "overhead" | "scenario"
     baseline: Optional[float]
     current: Optional[float]
     status: str                   # "ok" | "improved" | "regressed"
@@ -211,6 +223,26 @@ def _compare_wall(name: str, base_wall: Dict[str, Any],
     return Finding(name, metric, "wall", base, cur, "ok")
 
 
+def _compare_overhead(name: str, base_over: Dict[str, Any],
+                      cur_over: Dict[str, Any],
+                      policy: TolerancePolicy) -> Finding:
+    base = float(base_over.get("ratio", 0.0))
+    cur = float(cur_over.get("ratio", 0.0))
+    mad = max(float(base_over.get("mad", 0.0)),
+              float(cur_over.get("mad", 0.0)))
+    slack = max(policy.overhead_abs, base * policy.overhead_rel,
+                policy.overhead_mad_factor * mad)
+    metric = "overhead.ratio"
+    if cur > base + slack:
+        return Finding(name, metric, "overhead", base, cur, "regressed",
+                       f"obs overhead grew {base:.3f}x -> {cur:.3f}x "
+                       f"(budget {base + slack:.3f}x)")
+    if cur < base - slack:
+        return Finding(name, metric, "overhead", base, cur, "improved",
+                       f"obs overhead shrank {base:.3f}x -> {cur:.3f}x")
+    return Finding(name, metric, "overhead", base, cur, "ok")
+
+
 def _compare_section(name: str, section: str, base: Dict[str, Any],
                      cur: Dict[str, Any],
                      policy: TolerancePolicy) -> List[Finding]:
@@ -265,6 +297,11 @@ def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
                 if base.get("wall") and cur.get("wall"):
                     report.findings.append(
                         _compare_wall(name, base["wall"], cur["wall"], pol))
+                continue
+            if section == "overhead":
+                if base.get("overhead") and cur.get("overhead"):
+                    report.findings.append(_compare_overhead(
+                        name, base["overhead"], cur["overhead"], pol))
                 continue
             report.findings.extend(
                 _compare_section(name, section, base, cur, pol))

@@ -20,6 +20,7 @@ from ..gaussians.camera import Camera
 from ..gaussians.model import GaussianCloud
 from ..gaussians.se3 import point_jacobian_wrt_twist
 from ..obs import trace
+from ..obs import atlas as _atlas_mod
 from .compositing import T_MIN, composite_backward
 from .projection import ProjectedGaussians
 from .rasterize import RenderResult
@@ -200,6 +201,8 @@ def backward_full(
             stats.num_alpha_checks += px.shape[0] * idx.size
             stats.num_contrib_pairs += pair.num_pairs_touched
             stats.num_atomic_adds += pair.num_pairs_touched
+            if _atlas_mod.current.active:
+                _atlas_mod.current.observe_tile_backward(px, cache.contrib.sum(axis=1))
             if record:
                 serial_len = int((cache.gamma >= T_MIN).sum(axis=1).max())
                 stats.tile_work.append((idx.size, px.shape[0], serial_len))

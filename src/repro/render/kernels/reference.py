@@ -20,7 +20,7 @@ __all__ = ["forward", "backward"]
 
 def forward(proj, pairs, centres, background, alpha_threshold, t_min,
             keep_cache, exp_fn, stats, color, depth, silhouette,
-            pair_alpha=None, pair_clipped=None):
+            pair_alpha=None, pair_clipped=None, contribs_out=None):
     """Per-pixel forward loop over the shared candidate pair list.
 
     Fills ``color`` / ``depth`` / ``silhouette`` (length K) in place and
@@ -28,6 +28,9 @@ def forward(proj, pairs, centres, background, alpha_threshold, t_min,
     always ``None`` here; this backend caches per pixel.  The pre-computed
     ``pair_alpha`` / ``pair_clipped`` arrays are deliberately ignored:
     the oracle re-derives α inside :func:`composite_forward`.
+    ``contribs_out`` (when given, a zeroed length-K int array) receives
+    every pixel's contributing-pair count regardless of
+    ``record_per_pixel`` — the sparsity atlas's spatial channel.
     """
     K = pairs.num_pixels
     record = stats.record_per_pixel
@@ -65,12 +68,19 @@ def forward(proj, pairs, centres, background, alpha_threshold, t_min,
         stats.num_contrib_pairs += contribs
         if record:
             stats.per_pixel_contribs.append(contribs)
+        if contribs_out is not None:
+            contribs_out[k] = contribs
         caches.append(cache if keep_cache else None)
     return pixel_lists, caches, None
 
 
-def backward(result, proj, d_color, d_depth, d_silhouette, pg, stats):
-    """Per-pixel backward loop over the cached forward composites."""
+def backward(result, proj, d_color, d_depth, d_silhouette, pg, stats,
+             contribs_out=None):
+    """Per-pixel backward loop over the cached forward composites.
+
+    ``contribs_out`` (when given) receives the per-pixel touched-pair
+    counts — the atlas's backward aggregation channel.
+    """
     record = stats.record_per_pixel
     for k in range(result.pixels.shape[0]):
         cand = result.pixel_lists[k]
@@ -92,6 +102,8 @@ def backward(result, proj, d_color, d_depth, d_silhouette, pg, stats):
         stats.num_candidate_pairs += cand.size
         stats.num_contrib_pairs += pair.num_pairs_touched
         stats.num_atomic_adds += pair.num_pairs_touched
+        if contribs_out is not None:
+            contribs_out[k] = pair.num_pairs_touched
         if record:
             stats.pixel_list_lengths.append(int(cand.size))
             stats.per_pixel_contribs.append(pair.num_pairs_touched)

@@ -66,12 +66,16 @@ def _pad(flat: np.ndarray, offsets: np.ndarray, valid: np.ndarray,
 
 def forward(proj, pairs, centres, background, alpha_threshold, t_min,
             keep_cache, exp_fn, stats, color, depth, silhouette,
-            pair_alpha=None, pair_clipped=None):
+            pair_alpha=None, pair_clipped=None, contribs_out=None):
     """Batched forward pass over the shared candidate pair list.
 
     ``pair_alpha`` / ``pair_clipped`` are the flat per-pair α values and
     clip flags the pipeline's α stage already evaluated (aligned with
     ``pairs``); when given, the falloff is not re-evaluated here.
+    ``contribs_out`` (when given, a zeroed length-K int array) receives
+    the per-pixel contributing-pair counts for the sparsity atlas; the
+    counts are the same ``contrib`` reduction the stats use, so the
+    channel stays bit-identical to the reference backend's.
     """
     K = pairs.num_pixels
     M = pairs.size
@@ -135,6 +139,8 @@ def forward(proj, pairs, centres, background, alpha_threshold, t_min,
 
     contribs_row = contrib.sum(axis=1)
     stats.num_contrib_pairs += int(contribs_row.sum())
+    if contribs_out is not None:
+        contribs_out[:] = contribs_row
     if record:
         stats.pixel_list_lengths.extend(int(n) for n in lengths)
         stats.per_pixel_contribs.extend(int(c) for c in contribs_row)
@@ -158,7 +164,8 @@ def forward(proj, pairs, centres, background, alpha_threshold, t_min,
     return pixel_lists, [None] * K, flat_cache
 
 
-def backward(result, proj, d_color, d_depth, d_silhouette, pg, stats):
+def backward(result, proj, d_color, d_depth, d_silhouette, pg, stats,
+             contribs_out=None):
     """Batched backward pass over the padded forward cache.
 
     Every arithmetic expression mirrors :func:`composite_backward` term
@@ -234,6 +241,8 @@ def backward(result, proj, d_color, d_depth, d_silhouette, pg, stats):
 
     touched = contrib.sum(axis=1)
     total_touched = int(touched.sum())
+    if contribs_out is not None:
+        contribs_out[:] = touched
     stats.num_candidate_pairs += int(fc.lengths.sum())
     stats.num_contrib_pairs += total_touched
     stats.num_atomic_adds += total_touched

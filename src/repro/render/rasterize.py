@@ -24,6 +24,7 @@ import numpy as np
 from ..gaussians.camera import Camera
 from ..gaussians.model import GaussianCloud
 from ..obs import trace
+from ..obs import atlas as _atlas_mod
 from .compositing import ALPHA_THRESHOLD, T_MIN, CompositeCache, composite_forward
 from .projection import ProjectedGaussians, project_gaussians
 from .sorting import sort_intersection_table
@@ -156,6 +157,8 @@ def _composite_tiles(grid, sorted_lists, sample_mask, proj, bg,
             caches.append(None)
             if record:
                 stats.per_pixel_contribs.extend([0] * px.shape[0])
+            if _atlas_mod.current.active:
+                _atlas_mod.current.observe_tile_forward(px, 0, None)
             continue
         centres = px + 0.5
         out_color, out_depth, out_sil, cache = composite_forward(
@@ -183,6 +186,8 @@ def _composite_tiles(grid, sorted_lists, sample_mask, proj, bg,
         # transmittance, so position j was examined iff gamma[j] >= t_min).
         contribs = cache.contrib.sum(axis=1)
         stats.num_contrib_pairs += int(contribs.sum())
+        if _atlas_mod.current.active:
+            _atlas_mod.current.observe_tile_forward(px, n_g, contribs)
         if record:
             serial_len = int((cache.gamma >= t_min).sum(axis=1).max())
             stats.tile_work.append((n_g, n_px, serial_len))

@@ -28,7 +28,7 @@ Counter glossary
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -93,6 +93,10 @@ class PipelineStats:
         self.tile_work.extend(other.tile_work)
         self.pixel_list_lengths.extend(other.pixel_list_lengths)
         self.pixel_contrib_ids.extend(other.pixel_contrib_ids)
+        # A merge that absorbs a records-off pass no longer has complete
+        # per-pixel lists; summary() must report n/a, not fabricate rates.
+        self.record_per_pixel = (self.record_per_pixel
+                                 and other.record_per_pixel)
         return self
 
     def as_dict(self) -> Dict[str, Union[int, str]]:
@@ -128,13 +132,22 @@ class PipelineStats:
         return {key: value for key, value in self.as_dict().items()
                 if key.startswith("num_")}
 
-    def summary(self) -> Dict[str, float]:
-        """Derived per-pass rates (the quantities the figures report)."""
+    def summary(self) -> Dict[str, Optional[float]]:
+        """Derived per-pass rates (the quantities the figures report).
+
+        ``mean_contribs_per_pixel`` and ``warp_utilization`` are computed
+        from the per-pixel record lists; with ``record_per_pixel=False``
+        those lists are empty and the naive values (0.0 / 1.0) would be
+        fabrications — both keys are reported as ``None`` ("n/a") then.
+        """
         pixels = max(self.num_pixels, 1)
+        record = self.record_per_pixel
         return {
             "alpha_pass_rate": float(self.alpha_pass_rate),
-            "mean_contribs_per_pixel": float(self.mean_contribs_per_pixel),
-            "warp_utilization": float(self.warp_utilization()),
+            "mean_contribs_per_pixel": (
+                float(self.mean_contribs_per_pixel) if record else None),
+            "warp_utilization": (
+                float(self.warp_utilization()) if record else None),
             "candidate_pairs_per_pixel": self.num_candidate_pairs / pixels,
             "sort_keys_per_pixel": self.num_sort_keys / pixels,
             "atomic_adds_per_pixel": self.num_atomic_adds / pixels,

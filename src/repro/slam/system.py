@@ -25,6 +25,7 @@ from ..metrics.quality import depth_l1, psnr, ssim
 from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..obs import flight as obs_flight
+from ..obs import atlas as obs_atlas
 from ..obs.health import HealthMonitor, get_monitor, use_monitor
 from ..render.rasterize import render_full
 from ..render.stats import PipelineStats
@@ -128,7 +129,8 @@ class SLAMSystem:
 
     def run(self, sequence, n_frames: Optional[int] = None,
             flight: Optional["obs_flight.FlightRecorder"] = None,
-            health: Optional[HealthMonitor] = None) -> SLAMResult:
+            health: Optional[HealthMonitor] = None,
+            atlas: Optional["obs_atlas.AtlasCollector"] = None) -> SLAMResult:
         """Run SLAM over ``sequence`` and return the result bundle.
 
         ``flight`` overrides the process-wide flight recorder
@@ -136,9 +138,13 @@ class SLAMSystem:
         is enabled, one structured record per frame is emitted (see
         :mod:`repro.obs.flight` for the schema) and the health monitors
         watch the stream online.  Passing an explicit ``health`` monitor
-        turns the stream watching on even without a recorder.  With
-        both left at their disabled defaults every hook is a single
-        branch — the run is bit-identical to an uninstrumented one.
+        turns the stream watching on even without a recorder.  ``atlas``
+        overrides the process-wide sparsity-atlas collector
+        (:data:`repro.obs.atlas.atlas`); when the effective collector is
+        enabled, every frame's spatial work grids plus per-stage counters
+        and hardware-model projections are recorded.  With all three left
+        at their disabled defaults every hook is a single branch — the
+        run is bit-identical to an uninstrumented one.
         """
         n = len(sequence) if n_frames is None else min(n_frames, len(sequence))
         if n < 2:
@@ -147,7 +153,17 @@ class SLAMSystem:
 
         recorder = flight if flight is not None else obs_flight.recorder
         monitor = health if health is not None else get_monitor()
+        collector = atlas if atlas is not None else obs_atlas.atlas
         watch = recorder.enabled or health is not None
+        if collector.enabled:
+            # Backend-independent metadata only: the artifact must stay
+            # bit-identical across kernel backends.
+            collector.begin_run(
+                algorithm=self.algo.name, mode=self.mode,
+                sequence=getattr(sequence, "name", None), frames=n,
+                width=intr.width, height=intr.height,
+                tracking_tile=self.splatonic.config.tracking_tile,
+                mapping_tile=self.splatonic.config.mapping_tile)
         if watch:
             monitor.begin_run()
             alert_cursor = 0
@@ -177,10 +193,14 @@ class SLAMSystem:
         run_span = trace.span("slam.run", algorithm=self.algo.name,
                               mode=self.mode, frames=n)
         # A custom monitor becomes the process default for the run's
-        # duration so the tracker/mapper finite guards route into it.
-        with use_monitor(monitor if health is not None else None), run_span:
+        # duration so the tracker/mapper finite guards route into it;
+        # likewise an explicit atlas collector becomes the one the render
+        # pipelines observe into.
+        with use_monitor(monitor if health is not None else None), \
+                obs_atlas.use_collector(atlas), run_span:
             frame0 = sequence[0]
             pose0 = frame0.gt_pose_c2w.copy()
+            collector.begin_frame(0, intr.width, intr.height)
             with trace.span("slam.bootstrap"):
                 cloud = self._bootstrap_cloud(intr, pose0, frame0)
                 kf0 = Keyframe(0, pose0, frame0.color, frame0.depth)
@@ -190,6 +210,8 @@ class SLAMSystem:
             cloud = boot.cloud
             stage_stats["mapping_fwd"].merge(boot.forward_stats)
             stage_stats["mapping_bwd"].merge(boot.backward_stats)
+            collector.end_frame({
+                "mapping": (boot.forward_stats, boot.backward_stats)})
 
             est_poses = [pose0]
             tracking_iterations: List[int] = []
@@ -206,6 +228,7 @@ class SLAMSystem:
             for i in range(1, n):
                 frame = sequence[i]
                 init = self._constant_velocity_init(est_poses)
+                collector.begin_frame(i, intr.width, intr.height)
                 with trace.span("slam.track", frame=i) as sp:
                     tr = tracker.track_frame(cloud, init, frame.color,
                                              frame.depth,
@@ -239,6 +262,14 @@ class SLAMSystem:
                     mapping_invocations += 1
                     stage_stats["mapping_fwd"].merge(mp.forward_stats)
                     stage_stats["mapping_bwd"].merge(mp.backward_stats)
+
+                if collector.active:
+                    frame_stats = {
+                        "tracking": (tr.forward_stats, tr.backward_stats)}
+                    if mp is not None:
+                        frame_stats["mapping"] = (mp.forward_stats,
+                                                  mp.backward_stats)
+                    collector.end_frame(frame_stats)
 
                 if watch:
                     alert_cursor = self._observe_frame(

@@ -263,4 +263,4 @@ class TestReporting:
                                              sort_keys=True) + "\n"
 
     def test_default_sections_order(self):
-        assert DEFAULT_SECTIONS == ("counters", "model", "wall")
+        assert DEFAULT_SECTIONS == ("counters", "model", "wall", "overhead")
