@@ -2,14 +2,13 @@
 
 Runs the ``obs_overhead`` scenario of the perf-trajectory suite (proxy
 SLAM with every observability feature off vs tracer + metrics + flight
-recorder + sparsity atlas + health monitors all on) and writes the
-result as a schema-versioned ``BENCH_obs_trajectory.json`` at the repo
-root — the same payload layout as ``repro bench run``, so it can be
-diffed with ``repro bench compare`` like any other trajectory.
-
-This replaced the ad-hoc ``BENCH_obs.json`` format: one schema, one
-comparator.  See README "Benchmark artifacts" for which ``BENCH_*.json``
-files are committed baselines vs regenerated artifacts.
+recorder + sparsity atlas + health monitors all on, plus the
+telemetry-bus legs with zero and one subscriber) and writes the result
+as a schema-versioned ``BENCH_obs_trajectory.json`` at the repo root —
+the same payload layout as ``repro bench run``, so it can be diffed
+with ``repro bench compare`` like any other trajectory.  See README
+"Benchmark artifacts" for which ``BENCH_*.json`` files are committed
+baselines vs regenerated artifacts.
 """
 
 import json
@@ -35,16 +34,30 @@ def test_obs_overhead_trajectory():
     # Observability must be passive: identical trajectory, map, and
     # counters with everything on.
     assert scn["counters"]["obs_passive"] == 1
+    assert scn["counters"]["obs_passive_bus"] == 1
     # Every obs channel actually collected something.
     assert scn["counters"]["flight.records"] > 0
     assert scn["counters"]["atlas.frames"] > 0
     assert scn["counters"]["atlas.candidates"] > 0
     assert scn["counters"]["spans"] > 0
+    # The bus legs published the deterministic run stream, nothing was
+    # lost to the subscriber's ring, and listening changes no counts.
+    assert scn["counters"]["telemetry.published"] > 0
+    assert (scn["counters"]["telemetry.published_sub"]
+            == scn["counters"]["telemetry.published"])
+    assert (scn["counters"]["telemetry.delivered"]
+            == scn["counters"]["telemetry.published"])
+    assert scn["counters"]["telemetry.dropped"] == 0
 
+    extras = scn["overhead"].get("extra") or {}
+    ratios = {"ratio": scn["overhead"]["ratio"],
+              "bus_ratio": extras["bus_ratio"]["ratio"],
+              "bus_sub_ratio": extras["bus_sub_ratio"]["ratio"]}
+    for key, ratio in ratios.items():
+        assert ratio < MAX_OVERHEAD_RATIO, (
+            f"{key}: observability costs {ratio:.2f}x the uninstrumented "
+            f"run (ceiling {MAX_OVERHEAD_RATIO}x)")
     ratio = scn["overhead"]["ratio"]
-    assert ratio < MAX_OVERHEAD_RATIO, (
-        f"all-on observability costs {ratio:.2f}x the uninstrumented run "
-        f"(ceiling {MAX_OVERHEAD_RATIO}x)")
 
     write_trajectory(payload, str(BENCH_OUT))
     # Round-trip: the artifact is valid canonical JSON.

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands::
+Nine subcommands::
 
     repro slam --sequence room0 --out results/      # run SLAM, save outputs
     repro render --scene-seed 7 --out view.ppm      # render a scene
@@ -9,6 +9,7 @@ Eight subcommands::
     repro bench run|compare|attrib                  # perf-trajectory suite
     repro report run.jsonl                          # flight-record report
     repro atlas atlas.jsonl.gz                      # sparsity-atlas heatmaps
+    repro top --endpoint localhost:9464             # live run dashboard
     repro info                                      # presets + hw summary
 
 ``repro bench`` is the perf-trajectory harness: ``run`` executes the
@@ -22,6 +23,15 @@ per frame (poses, losses, sampling composition, health alerts); ``repro
 report run.jsonl`` renders it as a markdown/HTML run report and ``repro
 report --diff a.jsonl b.jsonl`` aligns two runs frame-by-frame and
 reports where they first diverged (exit 1 on divergence, diff-style).
+
+``repro slam --serve-telemetry`` turns on the live telemetry bus and a
+background HTTP exporter (``/metrics`` in Prometheus text format,
+``/healthz``, and a ``/runz`` JSON run snapshot); ``repro top
+--endpoint localhost:9464`` renders that endpoint as a live terminal
+dashboard, and ``repro top --once --from-flight run.jsonl`` renders a
+recorded flight log's final snapshot.  ``repro slam --telemetry-stream
+TARGET`` additionally streams every bus event as newline-JSON to a
+file, ``tcp://host:port``, or ``unix:///path`` socket.
 
 ``repro slam --atlas atlas.jsonl.gz`` additionally records the sparsity
 atlas — per-frame spatial heatmaps of sampled pixels, candidate/contrib
@@ -104,6 +114,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "PATH; render it with `repro atlas`")
     p_slam.add_argument("--atlas-tile", type=int, default=None,
                         help="atlas binning tile in pixels (default: 8)")
+    p_slam.add_argument("--serve-telemetry", metavar="PORT", nargs="?",
+                        type=int, const=-1, default=None,
+                        help="enable the live telemetry bus and serve "
+                             "/metrics /healthz /runz over HTTP "
+                             "(default port: 9464; 0 picks an ephemeral "
+                             "port); watch it with `repro top`")
+    p_slam.add_argument("--telemetry-host", default="127.0.0.1",
+                        help="bind host of the telemetry exporter "
+                             "(default: 127.0.0.1)")
+    p_slam.add_argument("--telemetry-linger", type=float, default=0.0,
+                        metavar="SEC",
+                        help="keep the telemetry endpoint serving this "
+                             "many seconds after the run finishes")
+    p_slam.add_argument("--telemetry-stream", metavar="TARGET", default=None,
+                        help="stream bus events as newline-JSON to TARGET "
+                             "(file path, tcp://host:port, or "
+                             "unix:///path); implies the telemetry bus")
 
     p_render = sub.add_parser("render", help="render a procedural scene or "
                                              "a saved cloud")
@@ -249,6 +276,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_atlas.add_argument("--out", default=None,
                          help="write the report here instead of stdout")
 
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over a telemetry endpoint "
+                    "or a recorded flight log")
+    p_top.add_argument("--endpoint", metavar="URL", default=None,
+                       help="telemetry exporter to poll, e.g. "
+                            "localhost:9464 (from `repro slam "
+                            "--serve-telemetry`)")
+    p_top.add_argument("--from-flight", metavar="PATH", default=None,
+                       help="render a recorded flight-record JSONL "
+                            "instead of a live endpoint")
+    p_top.add_argument("--once", action="store_true",
+                       help="render one snapshot and exit (scriptable; "
+                            "no screen clearing)")
+    p_top.add_argument("--interval", type=float, default=0.5,
+                       help="refresh interval in seconds (default: 0.5)")
+    p_top.add_argument("--width", type=int, default=100,
+                       help="dashboard width in columns (default: 100)")
+    p_top.add_argument("--no-color", action="store_true",
+                       help="plain-text output (no ANSI styling or "
+                            "screen clearing)")
+
     sub.add_parser("info", help="print presets and hardware configuration")
     return parser
 
@@ -265,12 +313,21 @@ def _make_sequence(args, note=None):
 
 
 def _cmd_slam(args) -> int:
+    import time as _time
+
     from .core import SplatonicConfig
     from .io import save_cloud, save_ppm, save_trajectory_tum
     from .metrics import rpe
+    from .obs import ingest_pipeline_stats, metrics
     from .obs.atlas import AtlasCollector, DEFAULT_ATLAS_TILE
     from .obs.flight import FlightRecorder
     from .obs.health import HealthConfig, HealthMonitor
+    from .obs.telemetry import (
+        DEFAULT_PORT,
+        TelemetryConfig,
+        TelemetryStreamer,
+        bus,
+    )
     from .render import render_full
     from .gaussians import Camera
     from .slam import SLAMSystem
@@ -293,11 +350,56 @@ def _cmd_slam(args) -> int:
     if args.atlas:
         atlas = AtlasCollector(tile=args.atlas_tile or DEFAULT_ATLAS_TILE)
         atlas.enable(args.atlas)
+
+    telemetry_on = (args.serve_telemetry is not None
+                    or args.telemetry_stream is not None)
+    server = None
+    streamer = None
+    if telemetry_on:
+        from .obs.promexport import serve_telemetry
+
+        bus.enable()
+        if health is None:
+            # Live runs always watch health so alerts reach the ticker.
+            health = HealthMonitor(HealthConfig(on_alert=args.on_alert))
+        if args.serve_telemetry is not None:
+            port = (DEFAULT_PORT if args.serve_telemetry < 0
+                    else args.serve_telemetry)
+            server = serve_telemetry(TelemetryConfig(
+                host=args.telemetry_host, port=port))
+            log.info(f"serving telemetry on {server.url} "
+                     f"(/metrics /healthz /runz); watch with "
+                     f"`repro top --endpoint {server.url}`")
+        if args.telemetry_stream is not None:
+            streamer = TelemetryStreamer(args.telemetry_stream).start()
+            log.info(f"streaming telemetry to {args.telemetry_stream}")
+
     log.info(f"running {args.algorithm} ({args.mode}) ...")
     try:
         result = system.run(sequence, flight=flight, health=health,
                             atlas=atlas)
+        if telemetry_on:
+            # Fold the run's stage totals into the registry so the final
+            # /metrics scrape carries the workload counters too.
+            for stage in SLAMSystem.STAGES:
+                ingest_pipeline_stats(stage, result.stage_stats[stage])
+            metrics.publish_snapshot()
     finally:
+        if telemetry_on and args.telemetry_linger > 0:
+            log.info(f"telemetry endpoint lingering "
+                     f"{args.telemetry_linger:g} s ...")
+            _time.sleep(args.telemetry_linger)
+        if streamer is not None:
+            stats = streamer.stop()
+            log.info(f"telemetry stream: {stats['lines']} lines to "
+                     f"{stats['target']} ({stats['dropped']} dropped)")
+        if server is not None:
+            stats = server.stop()
+            log.info(f"telemetry endpoint {stats['url']} closed "
+                     f"({stats['delivered']} events, "
+                     f"{stats['dropped']} dropped)")
+        if telemetry_on:
+            bus.disable()
         if flight is not None:
             flight.disable()
         if atlas is not None:
@@ -647,6 +749,27 @@ def _cmd_atlas(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from .obs import top as obs_top
+
+    if bool(args.endpoint) == bool(args.from_flight):
+        raise SystemExit("top needs exactly one of --endpoint URL or "
+                         "--from-flight PATH")
+    if args.from_flight:
+        try:
+            source = obs_top.FlightSource(args.from_flight)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"top: cannot read flight record: {exc}")
+    else:
+        source = obs_top.HttpSource(args.endpoint)
+    try:
+        obs_top.run_top(source, interval=args.interval, once=args.once,
+                        width=args.width, color=not args.no_color)
+    except OSError as exc:
+        raise SystemExit(f"top: cannot reach {args.endpoint}: {exc}")
+    return 0
+
+
 def _cmd_info(_args) -> int:
     from . import __version__
     from .hw import GpuSpec, SplatonicHwConfig, splatonic_area
@@ -683,6 +806,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "report": _cmd_report,
         "atlas": _cmd_atlas,
+        "top": _cmd_top,
         "info": _cmd_info,
     }
     # Global --trace: capture the whole subcommand (the `trace` and `bench`

@@ -42,13 +42,39 @@ inside functions:
 - :mod:`repro.obs.prof` — the continuous profiler: per-span CPU time
   and opt-in tracemalloc allocation/peak deltas on the tracer, plus
   top-N self-time/alloc tables and a JSON profile export.
+- :mod:`repro.obs.telemetry` — the live telemetry :data:`~repro.obs.
+  telemetry.bus`: a backpressure-safe in-process pub/sub bus (bounded
+  per-subscriber rings, drop counters, disabled == free) the flight
+  recorder, health monitors, metrics registry, and tracer publish onto,
+  plus the :class:`~repro.obs.telemetry.RunAggregator` live run snapshot
+  and the newline-JSON :class:`~repro.obs.telemetry.TelemetryStreamer`.
+- :mod:`repro.obs.promexport` — the stdlib-only HTTP exporter over the
+  bus: ``/metrics`` (Prometheus text exposition), ``/healthz``, and the
+  ``/runz`` JSON run snapshot, behind ``repro slam --serve-telemetry``.
+- :mod:`repro.obs.top` — the ``repro top`` live terminal dashboard:
+  renders the run snapshot (fps, pose RMSE, loss sparklines, sampling
+  composition, alert ticker) from the in-process bus, a remote
+  endpoint, or a recorded flight log.
 
-See README "Observability" and EXPERIMENTS.md "Perf trajectory" /
-"Flight recorder" / "Sparsity atlas & profiler" for the workflow, and
-DESIGN.md for the span name ↔ paper stage mapping.
+See README "Observability" / "Watching a run" and EXPERIMENTS.md "Perf
+trajectory" / "Flight recorder" / "Sparsity atlas & profiler" / "Live
+telemetry" for the workflow, and DESIGN.md for the span name ↔ paper
+stage mapping.
 """
 
-from . import atlas, attrib, bench, flight, health, prof, regress, report
+from . import (
+    atlas,
+    attrib,
+    bench,
+    flight,
+    health,
+    prof,
+    promexport,
+    regress,
+    report,
+    telemetry,
+    top,
+)
 from .atlas import AtlasCollector, AtlasLog, read_atlas
 from .attrib import AttributionReport, attribute_workload
 from .bench import SuiteConfig, run_suite, write_trajectory
@@ -72,8 +98,21 @@ from .metrics import (
     metrics,
 )
 from .prof import format_top_table, profile, top_spans, write_profile
+from .promexport import (
+    TelemetryHTTPServer,
+    parse_prometheus_text,
+    render_prometheus,
+    serve_telemetry,
+)
 from .regress import RegressionReport, TolerancePolicy, compare_files, compare_runs
 from .report import RunDiff, diff_runs, render_atlas_report, render_report
+from .telemetry import (
+    RunAggregator,
+    TelemetryBus,
+    TelemetryConfig,
+    TelemetryStreamer,
+    bus,
+)
 from .tracing import SpanRecord, Tracer, trace
 
 __all__ = [
@@ -126,4 +165,16 @@ __all__ = [
     "top_spans",
     "format_top_table",
     "write_profile",
+    "telemetry",
+    "promexport",
+    "top",
+    "bus",
+    "TelemetryBus",
+    "TelemetryConfig",
+    "TelemetryStreamer",
+    "RunAggregator",
+    "TelemetryHTTPServer",
+    "serve_telemetry",
+    "render_prometheus",
+    "parse_prometheus_text",
 ]

@@ -22,8 +22,16 @@ schema-versioned JSONL stream with exactly one record per frame:
 The recorder follows the tracer's no-op discipline: it is **disabled by
 default**, and a disabled :meth:`FlightRecorder.emit` is one attribute
 load + branch, so instrumentation hooks in the SLAM loop cost nothing
-when recording is off.  Module-level imports are stdlib-only; numpy is
-pulled in lazily where records are normalized.
+when recording is off.  Module-level imports are stdlib-only
+(:mod:`repro.obs.telemetry` is itself stdlib-only); numpy is pulled in
+lazily where records are normalized.
+
+Live telemetry: every emitted record is also published onto the
+process-wide :data:`repro.obs.telemetry.bus` under its record type
+(``"header"`` / ``"frame"`` / ``"summary"``), so the HTTP exporter,
+stream exporter, and ``repro top`` watch the same stream the JSONL file
+receives — at zero extra cost while the bus is disabled (one branch; the
+already-normalized record dict is reused, nothing is re-serialized).
 """
 
 from __future__ import annotations
@@ -32,6 +40,8 @@ import json
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from .telemetry import bus as _bus
 
 __all__ = [
     "FLIGHT_SCHEMA_VERSION",
@@ -135,7 +145,11 @@ class FlightRecorder:
     # ---- recording ----
 
     def emit(self, record: Dict[str, Any]) -> None:
-        """Append one record (no-op while disabled)."""
+        """Append one record (no-op while disabled).
+
+        When the telemetry bus is enabled the normalized record is also
+        published under its ``type`` so live consumers see the stream.
+        """
         if not self._enabled:
             return
         plain = to_plain(record)
@@ -144,6 +158,8 @@ class FlightRecorder:
             json.dump(plain, self._fh, sort_keys=True)
             self._fh.write("\n")
             self._fh.flush()
+        if _bus.enabled:
+            _bus.publish(str(plain.get("type", "frame")), plain)
 
     def begin_run(self, **meta) -> None:
         """Emit the header record (schema version + env fingerprint)."""

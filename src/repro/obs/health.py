@@ -16,15 +16,21 @@ going wrong *while it is still running*:
   mapping pass stays above threshold after warm-up (the map stopped
   covering the view, Eqn. 2 territory);
 - ``densify_runaway``  — the Gaussian count grows by more than a factor
-  in one mapping invocation after warm-up.
+  in one mapping invocation after warm-up;
+- ``frame_time_spike`` — one frame's wall time is an outlier against the
+  rolling median wall time of frames of its kind (mapping passes compare
+  against mapping passes, tracking-only frames against tracking-only
+  ones; rising-edge: a sustained slowdown alerts once, not every frame).
 
 Every alert is routed through the metrics registry (a ``health.alerts.
-<monitor>`` counter plus a logged warning), and the configurable
-``on_alert`` policy escalates: ``"warn"`` records and continues,
-``"raise"`` aborts the run with :exc:`HealthError`.
+<monitor>`` counter plus a logged warning) and published onto the
+telemetry bus (an ``"alert"`` event, when the bus is enabled), and the
+configurable ``on_alert`` policy escalates: ``"warn"`` records and
+continues, ``"raise"`` aborts the run with :exc:`HealthError`.
 
 Module-level imports are stdlib-only (``math.isfinite`` + duck typing
-cover numpy scalars), keeping :mod:`repro.obs` cycle-free.
+cover numpy scalars; :mod:`repro.obs.telemetry` is stdlib-only too),
+keeping :mod:`repro.obs` cycle-free.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from .metrics import MetricsRegistry, metrics
+from .telemetry import bus as _bus
 
 __all__ = [
     "HealthConfig",
@@ -87,6 +94,17 @@ class HealthConfig:
     densify_growth_factor: float = 1.75
     #: ... after this many invocations (bootstrap growth is expected).
     densify_warmup: int = 2
+    #: A frame's wall time alerts when it exceeds this multiple of the
+    #: rolling median wall time of frames of its kind (mapping frames
+    #: compare against mapping frames); ``<= 0`` disables the monitor
+    #: (wall time is nondeterministic — benches needing exact alert
+    #: counts turn it off) ...
+    frame_time_factor: float = 10.0
+    #: ... and this absolute floor (seconds) — timer jitter on fast
+    #: proxy frames is not a spike.
+    frame_time_min_s: float = 0.05
+    #: Number of recent frame wall times the rolling median considers.
+    frame_time_history: int = 8
 
     def __post_init__(self) -> None:
         if self.on_alert not in ("warn", "raise"):
@@ -168,6 +186,8 @@ class HealthMonitor:
         self._mapping_passes = 0
         self._densify_invocations = 0
         self._last_gaussians: Optional[int] = None
+        self._frame_times: Dict[str, List[float]] = {}
+        self._frame_time_spiking = False
 
     # ---- alert plumbing ----
 
@@ -183,6 +203,10 @@ class HealthMonitor:
         self.alerts.append(alert)
         self.registry.inc(f"health.alerts.{monitor}")
         self.registry.warn(f"health[{monitor}]: {message}")
+        if _bus.enabled:
+            # Publish before a "raise" policy escalates, so live
+            # consumers see the alert that aborted the run.
+            _bus.publish("alert", alert.as_dict())
         if self.config.on_alert == "raise":
             raise HealthError(alert)
         return alert
@@ -215,6 +239,7 @@ class HealthMonitor:
         self._check_loss_divergence(record, frame)
         self._check_coverage(record, frame)
         self._check_densification(record, frame)
+        self._check_frame_time(record, frame)
         return self.alerts[before:]
 
     def _check_finiteness(self, record, frame) -> None:
@@ -326,6 +351,39 @@ class HealthMonitor:
                 f"invocation ({previous} -> {int(gaussians)} Gaussians)",
                 frame=frame, value=growth,
                 threshold=cfg.densify_growth_factor)
+
+    def _check_frame_time(self, record, frame) -> None:
+        cfg = self.config
+        if cfg.frame_time_factor <= 0:
+            return
+        wall = record.get("wall_time_s")
+        if wall is None or not _is_finite(wall):
+            return
+        wall = float(wall)
+        # Mapping frames legitimately cost many times a tracking-only
+        # frame, so each frame compares only against the rolling median
+        # of its own kind — a mapping pass is an outlier among mapping
+        # passes, not among cheap tracking frames.  Each bucket needs
+        # >=3 observations before the median is meaningful (the same
+        # warm-up the pose-jump monitor uses).
+        mapping = record.get("mapping") or {}
+        bucket = "mapping" if mapping.get("invoked") else "tracking"
+        history = self._frame_times.setdefault(bucket, [])
+        if len(history) >= 3:
+            median_wall = _median(history)
+            limit = max(cfg.frame_time_min_s,
+                        cfg.frame_time_factor * median_wall)
+            spiking = wall > limit
+            if spiking and not self._frame_time_spiking:
+                self._alert(
+                    "frame_time_spike",
+                    f"frame {frame}: {bucket} wall time {wall:.3f} s "
+                    f"exceeds {limit:.3f} s ({cfg.frame_time_factor:g}x "
+                    f"rolling {bucket} median {median_wall:.4f} s)",
+                    frame=frame, value=wall, threshold=limit)
+            self._frame_time_spiking = spiking
+        history.append(wall)
+        del history[:-cfg.frame_time_history]
 
 
 #: Process-wide default monitor.  The tracker/mapper iteration guards

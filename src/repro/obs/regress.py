@@ -14,8 +14,9 @@ The comparator walks the scenario sections of two
   exceed the baseline median by a relative margin *and* several MADs
   (whichever slack is largest, with an absolute floor for micro-scenarios).
 - ``overhead`` — the observability-overhead budget: the ``obs_overhead``
-  scenario's all-on/all-off wall ratio must not exceed the committed
-  baseline ratio beyond a hard slack.  Compared only when both payloads
+  scenario's instrumented/all-off wall ratios (the all-on leg plus the
+  telemetry-bus legs under ``extra``) must not exceed the committed
+  baseline ratios beyond a hard slack.  Compared only when both payloads
   carry the section (like ``wall``), so old baselines keep working.
 
 Missing scenarios/metrics in the current run fail (``removed``); new
@@ -223,16 +224,16 @@ def _compare_wall(name: str, base_wall: Dict[str, Any],
     return Finding(name, metric, "wall", base, cur, "ok")
 
 
-def _compare_overhead(name: str, base_over: Dict[str, Any],
-                      cur_over: Dict[str, Any],
-                      policy: TolerancePolicy) -> Finding:
+def _compare_overhead_ratio(name: str, metric: str,
+                            base_over: Dict[str, Any],
+                            cur_over: Dict[str, Any],
+                            policy: TolerancePolicy) -> Finding:
     base = float(base_over.get("ratio", 0.0))
     cur = float(cur_over.get("ratio", 0.0))
     mad = max(float(base_over.get("mad", 0.0)),
               float(cur_over.get("mad", 0.0)))
     slack = max(policy.overhead_abs, base * policy.overhead_rel,
                 policy.overhead_mad_factor * mad)
-    metric = "overhead.ratio"
     if cur > base + slack:
         return Finding(name, metric, "overhead", base, cur, "regressed",
                        f"obs overhead grew {base:.3f}x -> {cur:.3f}x "
@@ -241,6 +242,35 @@ def _compare_overhead(name: str, base_over: Dict[str, Any],
         return Finding(name, metric, "overhead", base, cur, "improved",
                        f"obs overhead shrank {base:.3f}x -> {cur:.3f}x")
     return Finding(name, metric, "overhead", base, cur, "ok")
+
+
+def _compare_overhead(name: str, base_over: Dict[str, Any],
+                      cur_over: Dict[str, Any],
+                      policy: TolerancePolicy) -> List[Finding]:
+    """The headline ratio plus any named extra ratios (e.g. the
+    telemetry-bus legs), each under the same budget rule.  Extras absent
+    from the baseline pass as ``new``; extras the current run dropped
+    fail as ``removed``."""
+    findings = [_compare_overhead_ratio(name, "overhead.ratio",
+                                        base_over, cur_over, policy)]
+    base_extra = base_over.get("extra") or {}
+    cur_extra = cur_over.get("extra") or {}
+    for key in sorted(set(base_extra) | set(cur_extra)):
+        metric = f"overhead.{key}"
+        if key not in cur_extra:
+            findings.append(Finding(
+                name, metric, "overhead",
+                float(base_extra[key].get("ratio", 0.0)), None, "removed",
+                "overhead ratio missing from current run"))
+        elif key not in base_extra:
+            findings.append(Finding(
+                name, metric, "overhead", None,
+                float(cur_extra[key].get("ratio", 0.0)), "new",
+                "overhead ratio absent from baseline"))
+        else:
+            findings.append(_compare_overhead_ratio(
+                name, metric, base_extra[key], cur_extra[key], policy))
+    return findings
 
 
 def _compare_section(name: str, section: str, base: Dict[str, Any],
@@ -300,7 +330,7 @@ def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
                 continue
             if section == "overhead":
                 if base.get("overhead") and cur.get("overhead"):
-                    report.findings.append(_compare_overhead(
+                    report.findings.extend(_compare_overhead(
                         name, base["overhead"], cur["overhead"], pol))
                 continue
             report.findings.extend(

@@ -11,6 +11,7 @@ models can replay exactly the workloads the run produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -26,6 +27,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..obs import flight as obs_flight
 from ..obs import atlas as obs_atlas
+from ..obs import telemetry as obs_telemetry
 from ..obs.health import HealthMonitor, get_monitor, use_monitor
 from ..render.rasterize import render_full
 from ..render.stats import PipelineStats
@@ -145,6 +147,13 @@ class SLAMSystem:
         and hardware-model projections are recorded.  With all three left
         at their disabled defaults every hook is a single branch — the
         run is bit-identical to an uninstrumented one.
+
+        Live telemetry: when the process-wide telemetry bus
+        (:data:`repro.obs.telemetry.bus`) is enabled and no flight
+        recorder is, the run records into a throwaway in-memory recorder
+        so per-frame records still reach the bus (the flight recorder is
+        the one publisher of the run stream) — the HTTP exporter, stream
+        exporter, and ``repro top`` all consume from there.
         """
         n = len(sequence) if n_frames is None else min(n_frames, len(sequence))
         if n < 2:
@@ -154,6 +163,12 @@ class SLAMSystem:
         recorder = flight if flight is not None else obs_flight.recorder
         monitor = health if health is not None else get_monitor()
         collector = atlas if atlas is not None else obs_atlas.atlas
+        bus = obs_telemetry.bus
+        if bus.enabled and not recorder.enabled:
+            # Live-only mode: publish the run stream without persisting
+            # a JSONL artifact.
+            recorder = obs_flight.FlightRecorder()
+            recorder.enable()
         watch = recorder.enabled or health is not None
         if collector.enabled:
             # Backend-independent metadata only: the artifact must stay
@@ -200,6 +215,7 @@ class SLAMSystem:
                 obs_atlas.use_collector(atlas), run_span:
             frame0 = sequence[0]
             pose0 = frame0.gt_pose_c2w.copy()
+            frame_start = perf_counter()
             collector.begin_frame(0, intr.width, intr.height)
             with trace.span("slam.bootstrap"):
                 cloud = self._bootstrap_cloud(intr, pose0, frame0)
@@ -223,11 +239,13 @@ class SLAMSystem:
                     pose_gt=frame0.gt_pose_c2w, tracking=None, mapping=boot,
                     mapping_window=1, cloud_size=len(cloud),
                     keyframe_added=True, keyframe_count=len(keyframes),
+                    wall_time_s=perf_counter() - frame_start,
                     alert_cursor=alert_cursor)
 
             for i in range(1, n):
                 frame = sequence[i]
                 init = self._constant_velocity_init(est_poses)
+                frame_start = perf_counter()
                 collector.begin_frame(i, intr.width, intr.height)
                 with trace.span("slam.track", frame=i) as sp:
                     tr = tracker.track_frame(cloud, init, frame.color,
@@ -277,6 +295,7 @@ class SLAMSystem:
                         pose_gt=frame.gt_pose_c2w, tracking=tr, mapping=mp,
                         mapping_window=window_size, cloud_size=len(cloud),
                         keyframe_added=kf_added, keyframe_count=len(keyframes),
+                        wall_time_s=perf_counter() - frame_start,
                         alert_cursor=alert_cursor)
 
         if watch and recorder.enabled:
@@ -315,6 +334,7 @@ class SLAMSystem:
     def _observe_frame(recorder, monitor, *, frame, pose_est, pose_gt,
                        tracking, mapping, mapping_window, cloud_size,
                        keyframe_added, keyframe_count,
+                       wall_time_s: Optional[float] = None,
                        alert_cursor: int = 0) -> int:
         """Assemble one flight record, run the health monitors over it,
         attach any alerts this frame produced (including the tracker/
@@ -366,6 +386,8 @@ class SLAMSystem:
                                    if candidate else 0.0),
             },
             "counters": counters,
+            "wall_time_s": (None if wall_time_s is None
+                            else float(wall_time_s)),
         }
         # Normalize before observing so the monitors see the same plain
         # values a reader of the JSONL stream would.
@@ -375,6 +397,12 @@ class SLAMSystem:
         if new_alerts:
             record["alerts"] = [a.as_dict() for a in new_alerts]
         recorder.emit(record)
+        if obs_telemetry.bus.enabled:
+            obs_metrics.set_gauge("slam.frame", float(frame))
+            obs_metrics.set_gauge("slam.gaussians", float(cloud_size))
+            obs_metrics.set_gauge(
+                "slam.pose_error_m", float(record["pose_error_m"]))
+            obs_metrics.publish_snapshot()
         return len(monitor.alerts)
 
     def _bootstrap_cloud(self, intr, pose0, frame0) -> GaussianCloud:

@@ -298,3 +298,116 @@ class TestReportCommand:
     def test_single_report_rejects_two_records(self, record_path):
         with pytest.raises(SystemExit):
             main(["report", record_path, record_path])
+
+
+class TestHelpSmoke:
+    """Every subcommand (and bench sub-subcommand) has working --help."""
+
+    COMMANDS = [
+        [],
+        ["slam"],
+        ["render"],
+        ["figure"],
+        ["trace"],
+        ["bench"],
+        ["bench", "run"],
+        ["bench", "compare"],
+        ["bench", "attrib"],
+        ["report"],
+        ["atlas"],
+        ["top"],
+        ["info"],
+    ]
+
+    @pytest.mark.parametrize("command", COMMANDS,
+                             ids=[" ".join(c) or "root" for c in COMMANDS])
+    def test_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([*command, "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "usage:" in out
+
+    def test_root_help_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for name in ("slam", "render", "figure", "trace", "bench",
+                     "report", "atlas", "top", "info"):
+            assert name in out
+
+
+class TestTelemetryFlags:
+    def test_slam_telemetry_defaults_off(self):
+        args = build_parser().parse_args(["slam"])
+        assert args.serve_telemetry is None
+        assert args.telemetry_stream is None
+        assert args.telemetry_host == "127.0.0.1"
+        assert args.telemetry_linger == 0.0
+
+    def test_serve_telemetry_bare_means_default_port(self):
+        args = build_parser().parse_args(["slam", "--serve-telemetry"])
+        assert args.serve_telemetry == -1    # sentinel: DEFAULT_PORT
+
+    def test_serve_telemetry_explicit_port(self):
+        args = build_parser().parse_args(
+            ["slam", "--serve-telemetry", "0", "--telemetry-host", "0.0.0.0"])
+        assert args.serve_telemetry == 0
+        assert args.telemetry_host == "0.0.0.0"
+
+    def test_telemetry_stream_target(self):
+        args = build_parser().parse_args(
+            ["slam", "--telemetry-stream", "tcp://localhost:5005"])
+        assert args.telemetry_stream == "tcp://localhost:5005"
+
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.endpoint is None and args.from_flight is None
+        assert args.once is False
+        assert args.interval == 0.5
+        assert args.width == 100
+        assert args.no_color is False
+
+    def test_top_flags(self):
+        args = build_parser().parse_args(
+            ["top", "--endpoint", "localhost:9464", "--once", "--no-color",
+             "--interval", "0.1", "--width", "72"])
+        assert args.endpoint == "localhost:9464"
+        assert args.once and args.no_color
+        assert args.interval == 0.1 and args.width == 72
+
+
+class TestSlamTelemetryEndToEnd:
+    def test_serve_and_stream_during_run(self, tmp_path):
+        """`repro slam --serve-telemetry 0 --telemetry-stream FILE`
+        streams the whole run as JSONL and leaves the bus disabled (and
+        subscriber-free) afterwards."""
+        from repro.obs.telemetry import bus
+
+        stream = str(tmp_path / "stream.jsonl")
+        code = main(["-q", "slam", "--frames", "3", "--width", "24",
+                     "--height", "18", "--tracking-tile", "8",
+                     "--serve-telemetry", "0",
+                     "--telemetry-stream", stream])
+        assert code == 0
+        assert not bus.enabled           # CLI tears the bus down
+        assert bus.subscriber_count == 0
+        lines = [json.loads(l) for l in open(stream).read().splitlines()]
+        kinds = [l["kind"] for l in lines]
+        assert kinds[0] == "header"
+        # The run stream ends with the summary, then the CLI publishes
+        # one final post-run metrics snapshot (stage stats ingested).
+        assert "summary" in kinds
+        assert kinds[-1] == "metrics"
+        assert kinds.count("frame") == 3
+        assert kinds.count("metrics") >= 3
+
+    def test_stream_alone_enables_the_bus(self, tmp_path):
+        from repro.obs.telemetry import bus
+
+        stream = str(tmp_path / "s.jsonl")
+        assert main(["-q", "slam", "--frames", "3", "--width", "24",
+                     "--height", "18", "--tracking-tile", "8",
+                     "--telemetry-stream", stream]) == 0
+        assert not bus.enabled
+        assert open(stream).read().count('"kind": "frame"') == 3

@@ -273,3 +273,94 @@ class TestIterationGuards:
             with pytest.raises(HealthError):
                 tracker.track_frame(cloud, seq[0].gt_pose_c2w,
                                     seq[1].color, seq[1].depth)
+
+
+class TestFrameTimeSpike:
+    def _timed(self, i, wall, invoked=False):
+        record = _frame(i, invoked=invoked)
+        record["wall_time_s"] = wall
+        return record
+
+    def test_fires_on_tracking_outlier(self):
+        mon = fresh_monitor(frame_time_factor=10.0, frame_time_min_s=0.0)
+        for i in range(4):
+            mon.observe_frame(self._timed(i, 0.01))
+        alerts = mon.observe_frame(self._timed(4, 0.5))
+        assert [a.monitor for a in alerts] == ["frame_time_spike"]
+        alert = alerts[0]
+        assert alert.frame == 4
+        assert alert.value == pytest.approx(0.5)
+        assert "tracking" in alert.message
+        assert "10x rolling tracking median" in alert.message
+
+    def test_quiet_on_steady_frames(self):
+        mon = fresh_monitor(frame_time_factor=10.0)
+        for i in range(20):
+            assert mon.observe_frame(self._timed(i, 0.01 + 0.001 * i)) == []
+
+    def test_slow_mapping_frames_do_not_trip_the_tracking_median(self):
+        """Mapping frames are legitimately ~10x slower than tracking-only
+        frames; the rolling median is kept per frame kind so they never
+        read as spikes against the tracking baseline."""
+        mon = fresh_monitor(frame_time_factor=5.0, frame_time_min_s=0.0)
+        for i in range(12):
+            mapping = (i % 4 == 3)
+            alerts = mon.observe_frame(
+                self._timed(i, 0.2 if mapping else 0.01, invoked=mapping))
+            assert alerts == [], f"frame {i}"
+
+    def test_mapping_outlier_fires_against_mapping_median(self):
+        mon = fresh_monitor(frame_time_factor=5.0, frame_time_min_s=0.0)
+        for i in range(6):
+            mon.observe_frame(self._timed(i, 0.2, invoked=True))
+        alerts = mon.observe_frame(self._timed(6, 2.5, invoked=True))
+        assert [a.monitor for a in alerts] == ["frame_time_spike"]
+        assert "mapping" in alerts[0].message
+
+    def test_rising_edge_alerts_once_per_episode(self):
+        mon = fresh_monitor(frame_time_factor=10.0, frame_time_min_s=0.0)
+        for i in range(4):
+            mon.observe_frame(self._timed(i, 0.01))
+        # Sustained spike: only the first spiking frame alerts...
+        assert len(mon.observe_frame(self._timed(4, 1.0))) == 1
+        assert mon.observe_frame(self._timed(5, 1.0)) == []
+        # ...drop back to normal re-arms (the slow frames do enter the
+        # rolling history, so recovery needs the median to re-settle).
+        for i in range(6, 14):
+            mon.observe_frame(self._timed(i, 0.01))
+        assert len(mon.observe_frame(self._timed(14, 1.0))) == 1
+
+    def test_min_floor_suppresses_fast_frame_noise(self):
+        # 1 ms -> 20 ms is a 20x jump, but still under the 50 ms floor.
+        mon = fresh_monitor(frame_time_factor=10.0)
+        for i in range(4):
+            mon.observe_frame(self._timed(i, 0.001))
+        assert mon.observe_frame(self._timed(4, 0.02)) == []
+
+    def test_factor_zero_disables(self):
+        mon = fresh_monitor(frame_time_factor=0.0)
+        for i in range(4):
+            mon.observe_frame(self._timed(i, 0.01))
+        assert mon.observe_frame(self._timed(4, 50.0)) == []
+
+    def test_frames_without_wall_time_are_ignored(self):
+        mon = fresh_monitor(frame_time_factor=10.0)
+        for i in range(6):
+            assert mon.observe_frame(_frame(i)) == []
+        assert mon.observe_frame(self._timed(6, 9.0)) == []  # no history yet
+
+    def test_needs_three_observations_before_judging(self):
+        mon = fresh_monitor(frame_time_factor=10.0, frame_time_min_s=0.0)
+        mon.observe_frame(self._timed(0, 0.01))
+        mon.observe_frame(self._timed(1, 0.01))
+        assert mon.observe_frame(self._timed(2, 5.0)) == []
+
+    def test_alert_hits_registry_counter(self):
+        registry = MetricsRegistry()
+        mon = HealthMonitor(
+            HealthConfig(frame_time_factor=10.0, frame_time_min_s=0.0),
+            registry=registry)
+        for i in range(4):
+            mon.observe_frame(self._timed(i, 0.01))
+        mon.observe_frame(self._timed(4, 1.0))
+        assert registry.counters["health.alerts.frame_time_spike"] == 1
