@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands::
+Ten subcommands::
 
     repro slam --sequence room0 --out results/      # run SLAM, save outputs
     repro render --scene-seed 7 --out view.ppm      # render a scene
@@ -10,6 +10,7 @@ Nine subcommands::
     repro report run.jsonl                          # flight-record report
     repro atlas atlas.jsonl.gz                      # sparsity-atlas heatmaps
     repro top --endpoint localhost:9464             # live run dashboard
+    repro runs list|show|ingest|trend|triage|prune  # run registry
     repro info                                      # presets + hw summary
 
 ``repro bench`` is the perf-trajectory harness: ``run`` executes the
@@ -41,7 +42,17 @@ measured-vs-modeled tables.  ``repro trace --profile-memory
 --profile-top 15`` adds per-span CPU time and tracemalloc allocation
 deltas and prints the top-N self-time/alloc table.
 
-Global flags: ``-v``/``-q`` adjust log verbosity and ``--trace PATH``
+``repro slam --registry [DIR]`` / ``repro bench run --registry [DIR]``
+register the finished run (metrics + content-addressed artifacts) in
+the append-only run registry (default ``.repro/runs/``); ``repro runs``
+is the longitudinal layer on top — ``list``/``show`` browse the index,
+``ingest`` registers existing artifacts after the fact, ``trend``
+renders per-metric sparkline time series with median+MAD changepoint
+detection, ``triage`` walks the evidence chain between two runs and
+ranks culprit stages/units, and ``prune`` bounds history.
+
+Global flags: ``-v``/``-q`` adjust log verbosity, ``--version`` prints
+the package plus artifact schema versions, and ``--trace PATH``
 captures a Chrome trace of *any* subcommand (open it in Perfetto or
 ``chrome://tracing``; see README "Observability").
 
@@ -65,6 +76,56 @@ __all__ = ["main", "build_parser"]
 log = get_logger("cli")
 
 
+def _version_text() -> str:
+    """Package version plus every artifact format's schema version."""
+    from . import __version__
+    from .obs.atlas import ATLAS_SCHEMA_VERSION
+    from .obs.bench import SCHEMA_VERSION as BENCH_SCHEMA_VERSION
+    from .obs.flight import FLIGHT_SCHEMA_VERSION
+    from .obs.prof import PROFILE_SCHEMA_VERSION
+    from .obs.runsdb import REGISTRY_SCHEMA_VERSION
+    from .obs.telemetry import STREAM_SCHEMA_VERSION
+
+    lines = [f"repro {__version__}", "artifact schema versions:"]
+    for name, version in (
+            ("flight record", FLIGHT_SCHEMA_VERSION),
+            ("bench trajectory", BENCH_SCHEMA_VERSION),
+            ("sparsity atlas", ATLAS_SCHEMA_VERSION),
+            ("telemetry stream", STREAM_SCHEMA_VERSION),
+            ("span profile", PROFILE_SCHEMA_VERSION),
+            ("run registry", REGISTRY_SCHEMA_VERSION)):
+        lines.append(f"  {name:18s} v{version}")
+    return "\n".join(lines)
+
+
+class _VersionAction(argparse.Action):
+    """``--version``: print package + schema versions, then exit."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(_version_text())
+        parser.exit(0)
+
+
+def _add_registry_option(parser, default=None) -> None:
+    from .obs.runsdb import DEFAULT_REGISTRY_ROOT
+
+    if default is None:
+        # Recording commands: off unless requested, bare flag = default
+        # root.  `repro runs` subcommands always have a registry.
+        parser.add_argument(
+            "--registry", metavar="DIR", nargs="?",
+            const=DEFAULT_REGISTRY_ROOT, default=None,
+            help="register the finished run in the run registry at DIR "
+                 f"(default: {DEFAULT_REGISTRY_ROOT})")
+    else:
+        parser.add_argument(
+            "--registry", metavar="DIR", default=default,
+            help=f"run-registry root (default: {default})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -77,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="capture a Chrome trace of the subcommand "
                              "and write it to PATH")
+    parser.add_argument("--version", action=_VersionAction,
+                        help="print the package version and every "
+                             "artifact format's schema version")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_slam = sub.add_parser("slam", help="run SLAM on a synthetic sequence")
@@ -131,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stream bus events as newline-JSON to TARGET "
                              "(file path, tcp://host:port, or "
                              "unix:///path); implies the telemetry bus")
+    _add_registry_option(p_slam)
 
     p_render = sub.add_parser("render", help="render a procedural scene or "
                                              "a saved cloud")
@@ -205,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     b_run.add_argument("--seed", type=int, default=0)
     b_run.add_argument("--out", default="BENCH_trajectory.json",
                        help="trajectory JSON output path")
+    _add_registry_option(b_run)
 
     b_cmp = bench_sub.add_parser(
         "compare", help="gate a trajectory against a committed baseline "
@@ -297,6 +363,83 @@ def build_parser() -> argparse.ArgumentParser:
                        help="plain-text output (no ANSI styling or "
                             "screen clearing)")
 
+    from .obs.runsdb import DEFAULT_REGISTRY_ROOT
+
+    p_runs = sub.add_parser(
+        "runs", help="run registry: list / show / ingest / trend / "
+                     "triage / prune")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    r_list = runs_sub.add_parser(
+        "list", help="list registered runs (newest last)")
+    _add_registry_option(r_list, default=DEFAULT_REGISTRY_ROOT)
+    r_list.add_argument("--kind", default=None,
+                        help="restrict to one run kind (slam, bench, ...)")
+    r_list.add_argument("--limit", type=int, default=0, metavar="N",
+                        help="show only the N most recent runs")
+    r_list.add_argument("--json", action="store_true",
+                        help="print the index records as JSON")
+
+    r_show = runs_sub.add_parser(
+        "show", help="show one registered run's record")
+    _add_registry_option(r_show, default=DEFAULT_REGISTRY_ROOT)
+    r_show.add_argument("run", metavar="RUN",
+                        help="run id, unique id prefix, or sequence "
+                             "number (-1 = latest)")
+
+    r_ingest = runs_sub.add_parser(
+        "ingest", help="register existing artifacts after the fact")
+    _add_registry_option(r_ingest, default=DEFAULT_REGISTRY_ROOT)
+    r_ingest.add_argument("--flight", metavar="PATH", default=None,
+                          help="flight-record JSONL to ingest as a slam "
+                               "run")
+    r_ingest.add_argument("--bench", metavar="PATH", default=None,
+                          help="BENCH_trajectory.json to ingest as a "
+                               "bench run")
+    r_ingest.add_argument("--atlas", metavar="PATH", default=None,
+                          help="sparsity-atlas artifact to attach")
+    r_ingest.add_argument("--attrib", metavar="PATH", default=None,
+                          help="cycle-attribution JSON to attach")
+    r_ingest.add_argument("--regress", metavar="PATH", default=None,
+                          help="bench-compare report JSON to attach")
+    r_ingest.add_argument("--sequence", default=None,
+                          help="dataset/sequence name override")
+
+    r_trend = runs_sub.add_parser(
+        "trend", help="per-metric time series with changepoint detection")
+    _add_registry_option(r_trend, default=DEFAULT_REGISTRY_ROOT)
+    r_trend.add_argument("--metric", default=None, metavar="GLOBS",
+                         help="comma-separated metric-name globs "
+                              "(default: wall/ATE/cycles/sparsity "
+                              "headline set)")
+    r_trend.add_argument("--kind", default=None,
+                         help="restrict to one run kind (slam, bench, ...)")
+    r_trend.add_argument("--json-out", default=None, metavar="PATH",
+                         help="also write the raw series + changepoints "
+                              "as JSON")
+
+    r_triage = runs_sub.add_parser(
+        "triage", help="walk the evidence chain between two runs and "
+                       "rank culprit stages/units")
+    _add_registry_option(r_triage, default=DEFAULT_REGISTRY_ROOT)
+    r_triage.add_argument("base", metavar="BASE", nargs="?", default="-2",
+                          help="baseline run ref (default: second-latest)")
+    r_triage.add_argument("current", metavar="CURRENT", nargs="?",
+                          default="-1",
+                          help="current run ref (default: latest)")
+    r_triage.add_argument("--json-out", default=None, metavar="PATH",
+                          help="machine-readable report output path")
+    r_triage.add_argument("--out", default=None, metavar="PATH",
+                          help="write the markdown report here instead "
+                               "of stdout")
+
+    r_prune = runs_sub.add_parser(
+        "prune", help="keep the N most recent runs; drop unreferenced "
+                      "artifact objects")
+    _add_registry_option(r_prune, default=DEFAULT_REGISTRY_ROOT)
+    r_prune.add_argument("--keep", type=int, required=True, metavar="N",
+                         help="number of most recent runs to keep")
+
     sub.add_parser("info", help="print presets and hardware configuration")
     return parser
 
@@ -372,12 +515,24 @@ def _cmd_slam(args) -> int:
                      f"`repro top --endpoint {server.url}`")
         if args.telemetry_stream is not None:
             streamer = TelemetryStreamer(args.telemetry_stream).start()
-            log.info(f"streaming telemetry to {args.telemetry_stream}")
+            if streamer.failed:
+                log.warning(f"telemetry stream target "
+                            f"{args.telemetry_stream} unavailable "
+                            f"({streamer.error}); run continues, events "
+                            f"count as dropped")
+            else:
+                log.info(f"streaming telemetry to {args.telemetry_stream}")
+
+    registry = None
+    if args.registry:
+        from .obs.runsdb import RunRegistry
+
+        registry = RunRegistry(args.registry)
 
     log.info(f"running {args.algorithm} ({args.mode}) ...")
     try:
         result = system.run(sequence, flight=flight, health=health,
-                            atlas=atlas)
+                            atlas=atlas, registry=registry)
         if telemetry_on:
             # Fold the run's stage totals into the registry so the final
             # /metrics scrape carries the workload counters too.
@@ -412,6 +567,10 @@ def _cmd_slam(args) -> int:
     if atlas is not None:
         log.info(f"wrote sparsity atlas ({atlas.tile}px tiles) to "
                  f"{args.atlas}; render with `repro atlas {args.atlas}`")
+    if result.run_id is not None:
+        log.info(f"registered run {result.run_id} in {args.registry}; "
+                 f"inspect with `repro runs show {result.run_id} "
+                 f"--registry {args.registry}`")
 
     ate = result.ate()
     drift = rpe(result.est_trajectory, result.gt_trajectory)
@@ -609,6 +768,12 @@ def _cmd_bench_run(args) -> int:
     obs_bench.write_trajectory(payload, args.out)
     log.info(f"wrote {len(payload['scenarios'])} scenarios to {args.out} "
              f"(schema v{payload['schema_version']})")
+    if args.registry:
+        from .obs.runsdb import RunRegistry, ingest_bench_payload
+
+        record = ingest_bench_payload(RunRegistry(args.registry), payload)
+        log.info(f"registered bench run {record['run_id']} in "
+                 f"{args.registry}")
     return 0
 
 
@@ -697,6 +862,182 @@ def _cmd_bench_attrib(args) -> int:
         n_events = report.write_chrome_trace(args.unit_trace_out)
         log.info(f"wrote {n_events} per-unit trace events to "
                  f"{args.unit_trace_out}")
+    return 0
+
+
+def _cmd_runs(args) -> int:
+    handlers = {
+        "list": _cmd_runs_list,
+        "show": _cmd_runs_show,
+        "ingest": _cmd_runs_ingest,
+        "trend": _cmd_runs_trend,
+        "triage": _cmd_runs_triage,
+        "prune": _cmd_runs_prune,
+    }
+    return handlers[args.runs_command](args)
+
+
+def _cmd_runs_list(args) -> int:
+    import json
+
+    from .obs.runsdb import RunRegistry
+
+    registry = RunRegistry(args.registry)
+    try:
+        records = registry.runs(kind=args.kind)
+    except ValueError as exc:
+        raise SystemExit(f"runs list: {exc}")
+    if args.limit > 0:
+        records = records[-args.limit:]
+    if args.json:
+        print(json.dumps(records, indent=1, sort_keys=True))
+        return 0
+    if not records:
+        print(f"registry {args.registry} is empty; record runs with "
+              f"`repro slam --registry` / `repro bench run --registry` "
+              f"or `repro runs ingest`")
+        return 0
+    print(f"| seq | run id | kind | created | dataset | config | "
+          f"artifacts |")
+    print(f"|---:|---|---|---|---|---|---|")
+    for record in records:
+        key = record.get("key") or {}
+        arts = ",".join(sorted(record.get("artifacts") or {})) or "—"
+        print(f"| {record.get('seq')} | {record.get('run_id')} "
+              f"| {record.get('kind')} | {record.get('created')} "
+              f"| {key.get('dataset') or '—'} "
+              f"| {key.get('config_hash') or '—'} | {arts} |")
+    stats = registry.stats()
+    print(f"\n{stats['runs']} runs, {stats['objects']} objects, "
+          f"{stats['bytes']} bytes in {stats['root']}")
+    return 0
+
+
+def _cmd_runs_show(args) -> int:
+    import json
+
+    from .obs.runsdb import RunRegistry
+
+    registry = RunRegistry(args.registry)
+    try:
+        record = registry.get(args.run)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"runs show: {exc}")
+    print(json.dumps(record, indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_runs_ingest(args) -> int:
+    import json
+
+    from .obs import runsdb
+
+    sources = [s for s in (args.flight, args.bench) if s]
+    if len(sources) != 1:
+        raise SystemExit("runs ingest needs exactly one of --flight PATH "
+                         "or --bench PATH")
+    registry = runsdb.RunRegistry(args.registry)
+    extra = {}
+    for name, path in (("atlas", args.atlas), ("attrib", args.attrib),
+                       ("regress", args.regress)):
+        if path:
+            extra[name] = path
+    try:
+        if args.flight:
+            with open(args.flight, encoding="utf-8") as f:
+                records = [json.loads(line) for line in f if line.strip()]
+            record = runsdb.ingest_slam_run(
+                registry, records, sequence=args.sequence,
+                extra_artifacts=extra or None)
+        else:
+            from .obs.regress import load_trajectory
+
+            record = runsdb.ingest_bench_payload(
+                registry, load_trajectory(args.bench),
+                extra_artifacts=extra or None)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"runs ingest: {exc}")
+    log.info(f"registered {record['kind']} run {record['run_id']} "
+             f"(seq {record['seq']}, "
+             f"{len(record['artifacts'])} artifacts) in {args.registry}")
+    print(record["run_id"])
+    return 0
+
+
+def _cmd_runs_trend(args) -> int:
+    import json
+
+    from .obs import triage as obs_triage
+    from .obs.runsdb import RunRegistry
+
+    registry = RunRegistry(args.registry)
+    try:
+        records = registry.runs(kind=args.kind)
+    except ValueError as exc:
+        raise SystemExit(f"runs trend: {exc}")
+    patterns = ([p.strip() for p in args.metric.split(",") if p.strip()]
+                if args.metric else None)
+    print(obs_triage.format_trend(records, patterns=patterns))
+    if args.json_out:
+        selected = obs_triage.select_metrics(records, patterns)
+        payload = {}
+        for name in selected:
+            series = obs_triage.metric_series(records, name)
+            if len(series) < 2:
+                continue
+            step = obs_triage.detect_step(
+                [v for _s, _r, v in series],
+                seqs=[s for s, _r, _v in series])
+            payload[name] = {
+                "series": [{"seq": s, "run_id": r, "value": v}
+                           for s, r, v in series],
+                "changepoint": None if step is None else {
+                    "seq": step.seq, "before": step.before,
+                    "after": step.after, "rel": step.rel},
+            }
+        with open(args.json_out, "w") as f:
+            json.dump(payload, f, indent=1, sort_keys=True)
+            f.write("\n")
+        log.info(f"wrote trend series to {args.json_out}")
+    return 0
+
+
+def _cmd_runs_triage(args) -> int:
+    from .obs import triage as obs_triage
+    from .obs.runsdb import RunRegistry
+
+    registry = RunRegistry(args.registry)
+    try:
+        base = registry.get(args.base)
+        current = registry.get(args.current)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"runs triage: {exc} (registry {args.registry})")
+    report = obs_triage.triage_runs(registry, base, current)
+    text = report.format_markdown()
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        log.info(f"wrote triage report to {args.out}")
+    else:
+        print(text, end="")
+    if args.json_out:
+        report.write_json(args.json_out)
+        log.info(f"wrote triage report to {args.json_out}")
+    return 0
+
+
+def _cmd_runs_prune(args) -> int:
+    from .obs.runsdb import RunRegistry
+
+    registry = RunRegistry(args.registry)
+    try:
+        result = registry.prune(args.keep)
+    except ValueError as exc:
+        raise SystemExit(f"runs prune: {exc}")
+    log.info(f"pruned {result['removed_runs']} runs, "
+             f"{result['removed_objects']} objects "
+             f"({result['freed_bytes']} bytes freed); "
+             f"{result['kept_runs']} runs kept")
     return 0
 
 
@@ -807,6 +1148,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "atlas": _cmd_atlas,
         "top": _cmd_top,
+        "runs": _cmd_runs,
         "info": _cmd_info,
     }
     # Global --trace: capture the whole subcommand (the `trace` and `bench`

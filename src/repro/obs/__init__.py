@@ -55,11 +55,22 @@ inside functions:
   renders the run snapshot (fps, pose RMSE, loss sparklines, sampling
   composition, alert ticker) from the in-process bus, a remote
   endpoint, or a recorded flight log.
+- :mod:`repro.obs.runsdb` — the run registry: an append-only JSONL run
+  index plus a content-addressed artifact store under ``.repro/runs/``,
+  keyed by environment fingerprint / git SHA / config hash / dataset,
+  ingesting flight logs, bench payloads, atlas archives, and
+  attribution reports behind ``--registry`` (disabled == free).
+- :mod:`repro.obs.triage` — cross-run analytics over the registry:
+  per-metric trend sparklines with median+MAD changepoint detection
+  (``repro runs trend``) and automated regression triage that walks the
+  evidence chain — metrics, regress verdict, cycle attribution, atlas
+  totals, flight differ — into a ranked culprit report
+  (``repro runs triage``).
 
-See README "Observability" / "Watching a run" and EXPERIMENTS.md "Perf
-trajectory" / "Flight recorder" / "Sparsity atlas & profiler" / "Live
-telemetry" for the workflow, and DESIGN.md for the span name ↔ paper
-stage mapping.
+See README "Observability" / "Watching a run" / "Run registry" and
+EXPERIMENTS.md "Perf trajectory" / "Flight recorder" / "Sparsity atlas
+& profiler" / "Live telemetry" / "Longitudinal analysis" for the
+workflow, and DESIGN.md for the span name ↔ paper stage mapping.
 """
 
 from . import (
@@ -72,8 +83,10 @@ from . import (
     promexport,
     regress,
     report,
+    runsdb,
     telemetry,
     top,
+    triage,
 )
 from .atlas import AtlasCollector, AtlasLog, read_atlas
 from .attrib import AttributionReport, attribute_workload
@@ -106,6 +119,11 @@ from .promexport import (
 )
 from .regress import RegressionReport, TolerancePolicy, compare_files, compare_runs
 from .report import RunDiff, diff_runs, render_atlas_report, render_report
+from .runsdb import (
+    RunRegistry,
+    ingest_bench_payload,
+    ingest_slam_run,
+)
 from .telemetry import (
     RunAggregator,
     TelemetryBus,
@@ -114,6 +132,7 @@ from .telemetry import (
     bus,
 )
 from .tracing import SpanRecord, Tracer, trace
+from .triage import TriageReport, format_trend, triage_runs
 
 __all__ = [
     "trace",
@@ -177,4 +196,12 @@ __all__ = [
     "serve_telemetry",
     "render_prometheus",
     "parse_prometheus_text",
+    "runsdb",
+    "triage",
+    "RunRegistry",
+    "ingest_slam_run",
+    "ingest_bench_payload",
+    "TriageReport",
+    "format_trend",
+    "triage_runs",
 ]

@@ -265,7 +265,7 @@ class TelemetryHTTPServer(ThreadingHTTPServer):
         self.aggregator = RunAggregator(series_len=self.config.series_len)
         self._agg_lock = threading.Lock()
         self._sub = self.bus.subscribe(
-            kinds=("header", "frame", "summary", "alert"),
+            kinds=("header", "frame", "summary", "alert", "registry"),
             maxlen=self.config.ring, name="promexport")
         self._thread: Optional[threading.Thread] = None
         super().__init__((self.config.host, self.config.port), _Handler)

@@ -21,7 +21,12 @@ The comparator walks the scenario sections of two
 
 Missing scenarios/metrics in the current run fail (``removed``); new
 ones pass with a note (``new``).  Schema-version or file problems are
-reported as errors and also fail.  Everything is stdlib-only.
+reported as errors and also fail.  Before attributing pass/fail, the
+comparator diffs the two payloads' environment fingerprints
+(python/numpy/cpu_count/...) and reports mismatches as explicit
+warnings — cross-machine comparisons should never be trusted silently,
+but a mismatch by itself does not fail the gate (the counter/model
+sections stay machine-portable).  Everything is stdlib-only.
 """
 
 from __future__ import annotations
@@ -89,6 +94,9 @@ class RegressionReport:
 
     findings: List[Finding] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
+    #: Environment-fingerprint differences between the payloads.  Warn
+    #: only: they flag untrustworthy wall comparisons, not regressions.
+    env_mismatches: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[Finding]:
@@ -117,6 +125,7 @@ class RegressionReport:
             "passed": self.passed,
             "counts": {k: v for k, v in sorted(self.counts().items())},
             "errors": list(self.errors),
+            "env_mismatches": list(self.env_mismatches),
             "findings": [asdict(f) for f in self.findings
                          if f.status != "ok"],
         }
@@ -131,6 +140,10 @@ class RegressionReport:
         summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
         verdict = "PASS" if self.passed else "FAIL"
         lines = [f"### bench compare — {verdict} ({summary or 'no metrics'})"]
+        for mismatch in self.env_mismatches:
+            lines.append(f"- WARNING: environment mismatch — {mismatch} "
+                         f"(wall-time comparison untrustworthy across "
+                         f"machines)")
         for err in self.errors:
             lines.append(f"- ERROR: {err}")
         notable = [f for f in self.findings if f.status != "ok"]
@@ -301,6 +314,19 @@ def _compare_section(name: str, section: str, base: Dict[str, Any],
     return findings
 
 
+def _env_mismatches(baseline: Dict[str, Any],
+                    current: Dict[str, Any]) -> List[str]:
+    """Fingerprint keys where the two payloads' environments differ."""
+    base_env = baseline.get("environment") or {}
+    cur_env = current.get("environment") or {}
+    out = []
+    for key in sorted(set(base_env) | set(cur_env)):
+        base_v, cur_v = base_env.get(key), cur_env.get(key)
+        if base_v != cur_v:
+            out.append(f"{key}: baseline {base_v!r} vs current {cur_v!r}")
+    return out
+
+
 def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
                  policy: Optional[TolerancePolicy] = None,
                  sections: Sequence[str] = DEFAULT_SECTIONS,
@@ -312,6 +338,7 @@ def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
     ok = _check_schema(current, "current", report.errors) and ok
     if not ok:
         return report
+    report.env_mismatches = _env_mismatches(baseline, current)
 
     base_scenarios = baseline["scenarios"]
     cur_scenarios = current["scenarios"]
@@ -347,11 +374,25 @@ def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
 # ---------------------------------------------------------------------------
 
 def load_trajectory(path: str) -> Dict[str, Any]:
-    """Load one trajectory JSON; raises OSError / ValueError on problems."""
+    """Load one trajectory JSON; raises OSError / ValueError on problems.
+
+    Accepts either a single suite payload or a bench-history document
+    (``{"format": "bench-history", "entries": [...]}`` as written by
+    ``benchmarks/bench_obs_trajectory.py``), in which case the newest
+    entry is returned.
+    """
     with open(path) as f:
         doc = json.load(f)
     if not isinstance(doc, dict):
         raise ValueError(f"{path}: not a JSON object")
+    if doc.get("format") == "bench-history":
+        entries = doc.get("entries")
+        if not (isinstance(entries, list) and entries):
+            raise ValueError(f"{path}: bench-history with no entries")
+        latest = entries[-1]
+        if not isinstance(latest, dict):
+            raise ValueError(f"{path}: bench-history entry not an object")
+        return latest
     return doc
 
 

@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 __all__ = [
     "DEFAULT_RING",
     "DEFAULT_PORT",
+    "STREAM_SCHEMA_VERSION",
     "Event",
     "TelemetryConfig",
     "Subscription",
@@ -58,6 +59,10 @@ DEFAULT_RING = 1024
 
 #: Default port of the ``repro slam --serve-telemetry`` HTTP exporter.
 DEFAULT_PORT = 9464
+
+#: Version of the newline-JSON stream-line layout the
+#: :class:`TelemetryStreamer` writes (``{"seq", "ts", "kind", "data"}``).
+STREAM_SCHEMA_VERSION = 1
 
 #: One published event: (seq, ts, kind, payload).
 Event = Tuple[int, float, str, Dict[str, Any]]
@@ -308,6 +313,7 @@ class RunAggregator:
         self.header: Dict[str, Any] = {}
         self.summary: Optional[Dict[str, Any]] = None
         self.metrics: Optional[Dict[str, Any]] = None
+        self.registry: Optional[Dict[str, Any]] = None
         self.frame: Optional[int] = None
         self.frames_seen = 0
         self.last_frame: Optional[Dict[str, Any]] = None
@@ -339,6 +345,8 @@ class RunAggregator:
             self.alert_count += 1
         elif kind == "metrics":
             self.metrics = payload
+        elif kind == "registry":
+            self.registry = dict(payload)
         # Unknown kinds (spans, bus stats, ...) are ignored, not errors:
         # the aggregator only models the run stream.
 
@@ -418,6 +426,7 @@ class RunAggregator:
             "alerts": list(self.alerts),
             "alert_count": self.alert_count,
             "summary": self.summary,
+            "registry": self.registry,
         }
 
 
@@ -450,11 +459,20 @@ def _open_stream_sink(target: str):
 class TelemetryStreamer:
     """Streams bus events as newline-JSON to a file or socket.
 
-    Each line is ``{"seq": N, "ts": T, "kind": K, "data": {...}}`` —
-    tail it with ``tail -f`` / ``jq``, or point it at a collector over
-    ``tcp://``/``unix://``.  A daemon thread pumps the subscription on
-    an interval; :meth:`pump` is also callable synchronously (tests, or
-    final flush on :meth:`stop`).
+    Each line is ``{"seq": N, "ts": T, "kind": K, "data": {...}}``
+    (layout :data:`STREAM_SCHEMA_VERSION`) — tail it with ``tail -f`` /
+    ``jq``, or point it at a collector over ``tcp://``/``unix://``.  A
+    daemon thread pumps the subscription on an interval; :meth:`pump`
+    is also callable synchronously (tests, or final flush on
+    :meth:`stop`).
+
+    Sink failures never take the run down: a refused connection at
+    :meth:`start` (or a peer disconnect mid-stream) marks the streamer
+    :attr:`failed`, and every event that can no longer be written is
+    counted in :attr:`dropped` — so ``delivered == lines + dropped``
+    holds and the loss is visible rather than fatal.  Pass
+    ``strict=True`` to :meth:`start` to get the old raise-on-connect
+    behavior.  Malformed targets still raise ValueError.
     """
 
     def __init__(self, target: str, bus_: Optional[TelemetryBus] = None,
@@ -465,25 +483,60 @@ class TelemetryStreamer:
         self.bus = bus_ if bus_ is not None else bus
         self.interval = float(interval)
         self.lines_written = 0
+        #: Events drained after the sink failed (part of :attr:`dropped`).
+        self.lines_dropped = 0
         self._kinds = kinds
         self._maxlen = int(maxlen)
         self._sub: Optional[Subscription] = None
         self._sink = None
+        self._error: Optional[str] = None
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._lock = threading.Lock()
 
     @property
     def dropped(self) -> int:
-        return self._sub.dropped if self._sub is not None else 0
+        """Total events lost: ring overflow plus sink-failure drops."""
+        ring = self._sub.dropped if self._sub is not None else 0
+        return ring + self.lines_dropped
 
-    def start(self, background: bool = True) -> "TelemetryStreamer":
-        """Open the sink, subscribe, and (optionally) spawn the pump."""
-        self._sink = _open_stream_sink(self.target)
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+    @property
+    def error(self) -> Optional[str]:
+        return self._error
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = f"{type(exc).__name__}: {exc}"
+        if self._sink is not None:
+            try:
+                self._sink.close()
+            except OSError:
+                pass
+            self._sink = None
+
+    def start(self, background: bool = True,
+              strict: bool = False) -> "TelemetryStreamer":
+        """Open the sink, subscribe, and (optionally) spawn the pump.
+
+        A sink that cannot be opened (e.g. ``tcp://`` connection
+        refused) marks the streamer :attr:`failed` instead of raising,
+        so the instrumented run proceeds and the loss shows up in the
+        drop counter; ``strict=True`` re-raises.  Malformed targets
+        always raise ValueError.
+        """
+        try:
+            self._sink = _open_stream_sink(self.target)
+        except OSError as exc:
+            if strict:
+                raise
+            self._fail(exc)
         self._sub = self.bus.subscribe(kinds=self._kinds,
                                        maxlen=self._maxlen,
                                        name=f"stream:{self.target}")
-        if background:
+        if background and self._sink is not None:
             self._stop.clear()
             self._thread = threading.Thread(
                 target=self._run, name="repro-telemetry-stream", daemon=True)
@@ -492,24 +545,39 @@ class TelemetryStreamer:
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
-            try:
-                self.pump()
-            except OSError:     # sink went away; stop quietly
+            self.pump()
+            if self._sink is None:      # sink went away; stop quietly
                 break
 
     def pump(self) -> int:
-        """Drain the subscription into the sink; returns lines written."""
-        if self._sub is None or self._sink is None:
+        """Drain the subscription into the sink; returns lines written.
+
+        With a failed (or never-opened) sink the drained events are
+        counted as dropped instead of written, keeping
+        ``delivered == lines_written + dropped + queued`` exact.
+        """
+        if self._sub is None:
             return 0
         events = self._sub.drain()
         if not events:
             return 0
         with self._lock:
-            for seq, ts, kind, payload in events:
-                json.dump({"seq": seq, "ts": ts, "kind": kind,
-                           "data": payload}, self._sink, sort_keys=True)
-                self._sink.write("\n")
-            self._sink.flush()
+            if self._sink is None:
+                self.lines_dropped += len(events)
+                return 0
+            try:
+                for seq, ts, kind, payload in events:
+                    json.dump({"seq": seq, "ts": ts, "kind": kind,
+                               "data": payload}, self._sink, sort_keys=True)
+                    self._sink.write("\n")
+                self._sink.flush()
+            except OSError as exc:
+                # The whole batch is unconfirmed once the sink breaks
+                # (buffered writes never reached the peer): count every
+                # event as dropped, none as written.
+                self._fail(exc)
+                self.lines_dropped += len(events)
+                return 0
             self.lines_written += len(events)
         return len(events)
 
@@ -519,10 +587,7 @@ class TelemetryStreamer:
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
-        try:
-            self.pump()
-        except OSError:
-            pass
+        self.pump()
         if self._sub is not None:
             self.bus.unsubscribe(self._sub)
         if self._sink is not None:
@@ -532,4 +597,4 @@ class TelemetryStreamer:
                 pass
             self._sink = None
         return {"target": self.target, "lines": self.lines_written,
-                "dropped": self.dropped}
+                "dropped": self.dropped, "error": self._error}

@@ -66,7 +66,7 @@ class LiveSource:
         self.bus = bus_ if bus_ is not None else default_bus
         self.aggregator = RunAggregator(series_len=series_len)
         self._sub = self.bus.subscribe(
-            kinds=("header", "frame", "summary", "alert"),
+            kinds=("header", "frame", "summary", "alert", "registry"),
             name="top:live")
 
     def snapshot(self) -> Dict[str, Any]:
@@ -265,6 +265,14 @@ def render_dashboard(snapshot: Dict[str, Any], width: int = 100,
             final_lines.append(
                 f"    {summary['tracking_iterations']} iterations total")
         lines.extend(final_lines)
+
+    registry = snapshot.get("registry") or {}
+    if registry.get("run_id"):
+        lines.append(
+            f"  {dim}registered:{reset} run {bold}{registry['run_id']}{reset}"
+            f" · registry {registry.get('root', '?')}"
+            f" ({_num(registry.get('runs_total'))} runs) — "
+            f"repro runs show {registry['run_id']}")
 
     return "\n".join(line[: width + 24] if not color else line
                      for line in lines) + "\n"

@@ -52,6 +52,9 @@ class SLAMResult:
     tracking_iterations: List[int] = field(default_factory=list)
     mapping_invocations: int = 0
     num_frames: int = 0
+    #: Registry id assigned when the run was recorded into a
+    #: :class:`repro.obs.runsdb.RunRegistry` (None otherwise).
+    run_id: Optional[str] = None
 
     def ate(self) -> AteResult:
         """Absolute trajectory error of the estimated trajectory."""
@@ -132,7 +135,8 @@ class SLAMSystem:
     def run(self, sequence, n_frames: Optional[int] = None,
             flight: Optional["obs_flight.FlightRecorder"] = None,
             health: Optional[HealthMonitor] = None,
-            atlas: Optional["obs_atlas.AtlasCollector"] = None) -> SLAMResult:
+            atlas: Optional["obs_atlas.AtlasCollector"] = None,
+            registry=None) -> SLAMResult:
         """Run SLAM over ``sequence`` and return the result bundle.
 
         ``flight`` overrides the process-wide flight recorder
@@ -154,6 +158,14 @@ class SLAMSystem:
         so per-frame records still reach the bus (the flight recorder is
         the one publisher of the run stream) — the HTTP exporter, stream
         exporter, and ``repro top`` all consume from there.
+
+        Run registry: pass a :class:`repro.obs.runsdb.RunRegistry` as
+        ``registry`` and the finished run is registered into it (flight
+        stream as the artifact, headline metrics extracted, keyed by
+        env fingerprint / git SHA / config hash / dataset); the
+        assigned id lands in :attr:`SLAMResult.run_id`.  Like the other
+        hooks, ``registry=None`` (the default) costs nothing — the one
+        extra branch runs after the run, never per frame.
         """
         n = len(sequence) if n_frames is None else min(n_frames, len(sequence))
         if n < 2:
@@ -164,9 +176,10 @@ class SLAMSystem:
         monitor = health if health is not None else get_monitor()
         collector = atlas if atlas is not None else obs_atlas.atlas
         bus = obs_telemetry.bus
-        if bus.enabled and not recorder.enabled:
-            # Live-only mode: publish the run stream without persisting
-            # a JSONL artifact.
+        if (bus.enabled or registry is not None) and not recorder.enabled:
+            # Live-only / registry-only mode: keep the run stream in an
+            # in-memory recorder without persisting a JSONL artifact —
+            # the bus consumers and the registry ingest read from it.
             recorder = obs_flight.FlightRecorder()
             recorder.enable()
         watch = recorder.enabled or health is not None
@@ -316,7 +329,7 @@ class SLAMSystem:
                 "alerts": [a.as_dict() for a in monitor.alerts],
             })
 
-        return SLAMResult(
+        result = SLAMResult(
             algorithm=self.algo.name,
             mode=self.mode,
             est_trajectory=np.stack(est_poses),
@@ -327,6 +340,26 @@ class SLAMSystem:
             mapping_invocations=mapping_invocations,
             num_frames=n,
         )
+        if registry is not None:
+            from ..obs import runsdb
+            record = runsdb.ingest_slam_run(
+                registry, recorder.records,
+                config={
+                    "algorithm": self.algo.name,
+                    "mode": self.mode,
+                    "tracking_tile": self.splatonic.config.tracking_tile,
+                    "mapping_tile": self.splatonic.config.mapping_tile,
+                    "tracking_strategy":
+                        self.splatonic.config.tracking_strategy,
+                    "kernel_backend":
+                        self.splatonic.config.kernel_backend,
+                    "map_every": self.algo.map_every,
+                    "keyframe_every": self.algo.keyframe_every,
+                    "keyframe_window": self.algo.keyframe_window,
+                },
+                sequence=getattr(sequence, "name", None))
+            result.run_id = record["run_id"]
+        return result
 
     # ---- helpers ----
 

@@ -317,6 +317,13 @@ class TestHelpSmoke:
         ["atlas"],
         ["top"],
         ["info"],
+        ["runs"],
+        ["runs", "list"],
+        ["runs", "show"],
+        ["runs", "ingest"],
+        ["runs", "trend"],
+        ["runs", "triage"],
+        ["runs", "prune"],
     ]
 
     @pytest.mark.parametrize("command", COMMANDS,
@@ -333,8 +340,123 @@ class TestHelpSmoke:
             main(["--help"])
         out = capsys.readouterr().out
         for name in ("slam", "render", "figure", "trace", "bench",
-                     "report", "atlas", "top", "info"):
+                     "report", "atlas", "top", "info", "runs"):
             assert name in out
+
+    def test_version_prints_schema_inventory(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert "artifact schema versions:" in out
+        for artifact in ("flight record", "bench trajectory",
+                         "sparsity atlas", "telemetry stream",
+                         "span profile", "run registry"):
+            assert artifact in out
+
+
+class TestRegistryFlags:
+    def test_slam_registry_defaults_off(self):
+        args = build_parser().parse_args(["slam"])
+        assert args.registry is None
+
+    def test_slam_registry_bare_uses_default_root(self):
+        from repro.obs.runsdb import DEFAULT_REGISTRY_ROOT
+        args = build_parser().parse_args(["slam", "--registry"])
+        assert args.registry == DEFAULT_REGISTRY_ROOT
+
+    def test_slam_registry_explicit_dir(self):
+        args = build_parser().parse_args(["slam", "--registry", "/tmp/reg"])
+        assert args.registry == "/tmp/reg"
+
+    def test_runs_trend_parses_metric_globs(self):
+        args = build_parser().parse_args(
+            ["runs", "trend", "--metric", "slam.wall.*,slam.ate.*"])
+        assert args.metric == "slam.wall.*,slam.ate.*"
+
+    def test_runs_triage_defaults_to_last_two(self):
+        args = build_parser().parse_args(["runs", "triage"])
+        assert args.base == "-2" and args.current == "-1"
+
+    def test_runs_prune_requires_keep(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runs", "prune"])
+
+
+class TestRunsEndToEnd:
+    """`repro slam --registry` twice, then the whole `repro runs`
+    surface against the resulting registry."""
+
+    @pytest.fixture(scope="class")
+    def registry_dir(self, tmp_path_factory):
+        reg = str(tmp_path_factory.mktemp("cli-runs") / "reg")
+        for tile in ("8", "4"):
+            code = main(["-q", "slam", "--frames", "4", "--width", "32",
+                         "--height", "24", "--tracking-tile", tile,
+                         "--registry", reg])
+            assert code == 0
+        return reg
+
+    def test_list_shows_both_runs_and_stats(self, registry_dir, capsys):
+        assert main(["runs", "list", "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert out.count("slam") >= 2
+        assert "2 runs" in out
+
+    def test_list_json_is_parseable(self, registry_dir, capsys):
+        assert main(["runs", "list", "--registry", registry_dir,
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert [r["seq"] for r in rows] == [1, 2]
+
+    def test_show_renders_metrics(self, registry_dir, capsys):
+        assert main(["runs", "show", "-1",
+                     "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "slam.ate.rmse_m" in out
+        assert "tracking_tile" in out
+
+    def test_trend_detects_no_step_on_two_runs(self, registry_dir, tmp_path,
+                                               capsys):
+        json_out = str(tmp_path / "trend.json")
+        assert main(["runs", "trend", "--registry", registry_dir,
+                     "--json-out", json_out]) == 0
+        assert "slam.wall.mean_s" in capsys.readouterr().out
+        doc = json.loads(open(json_out).read())
+        assert "slam.wall.mean_s" in doc
+        assert len(doc["slam.wall.mean_s"]["series"]) == 2
+
+    def test_triage_names_the_perturbed_stage(self, registry_dir, tmp_path,
+                                              capsys):
+        json_out = str(tmp_path / "triage.json")
+        md_out = str(tmp_path / "triage.md")
+        assert main(["runs", "triage", "--registry", registry_dir,
+                     "--json-out", json_out, "--out", md_out]) == 0
+        capsys.readouterr()
+        text = open(md_out).read()
+        assert text.startswith("### run triage")
+        assert "top culprit: tracking" in text
+        doc = json.loads(open(json_out).read())
+        assert doc["culprits"][0]["stage"] == "tracking"
+        assert "tracking_tile" in {d["key"] for d in doc["config_delta"]}
+
+    def test_triage_prints_to_stdout_without_out(self, registry_dir, capsys):
+        assert main(["runs", "triage", "--registry", registry_dir]) == 0
+        assert "top culprit: tracking" in capsys.readouterr().out
+
+    def test_unknown_run_show_exits_nonzero(self, registry_dir):
+        with pytest.raises(SystemExit):
+            main(["runs", "show", "zzz", "--registry", registry_dir])
+
+    def test_prune_runs_last(self, registry_dir, capsys):
+        # Keep both runs so earlier tests' registry stays intact; this
+        # class is ordered, prune is the final surface exercised.
+        assert main(["runs", "prune", "--keep", "2",
+                     "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs kept" in out
 
 
 class TestTelemetryFlags:

@@ -205,6 +205,87 @@ class TestStructuralChanges:
         assert report.exit_code == 2
 
 
+class TestEnvironmentMismatch:
+    def test_identical_environments_raise_no_warning(self):
+        base = make_payload()
+        base["environment"] = {"python": "3.12.0", "numpy": "1.26.0",
+                               "cpu_count": 8}
+        cur = json.loads(json.dumps(base))
+        report = compare_runs(cur, base)
+        assert report.env_mismatches == []
+        assert "environment mismatch" not in report.format_markdown()
+
+    def test_mismatch_is_warned_before_the_verdict(self):
+        base = make_payload()
+        base["environment"] = {"python": "3.12.0", "numpy": "1.26.0",
+                               "cpu_count": 8}
+        cur = make_payload()
+        cur["environment"] = {"python": "3.12.0", "numpy": "2.0.0",
+                              "cpu_count": 16}
+        report = compare_runs(cur, base)
+        assert len(report.env_mismatches) == 2
+        assert any("numpy" in m for m in report.env_mismatches)
+        assert any("cpu_count" in m for m in report.env_mismatches)
+        text = report.format_markdown()
+        # Warned explicitly, immediately under the verdict header.
+        assert "WARNING: environment mismatch" in text.splitlines()[1]
+        assert "untrustworthy" in text
+
+    def test_mismatch_alone_does_not_fail_the_gate(self):
+        base = make_payload()
+        base["environment"] = {"cpu_count": 8}
+        cur = make_payload()
+        cur["environment"] = {"cpu_count": 64}
+        report = compare_runs(cur, base)
+        assert report.passed
+        assert report.exit_code == 0
+
+    def test_mismatches_land_in_the_json_report(self, tmp_path):
+        base = make_payload()
+        base["environment"] = {"numpy": "1.26.0"}
+        cur = make_payload()
+        cur["environment"] = {"numpy": "2.0.0"}
+        report = compare_runs(cur, base)
+        out = tmp_path / "report.json"
+        report.write_json(str(out))
+        doc = json.loads(out.read_text())
+        assert doc["env_mismatches"] == report.env_mismatches
+
+
+class TestHistoryFormat:
+    def test_load_trajectory_resolves_newest_history_entry(self, tmp_path):
+        from repro.obs.regress import load_trajectory
+
+        old = make_payload()
+        new = make_payload()
+        new["scenarios"]["tracking"]["counters"][
+            "pixel.fwd.num_sort_keys"] = 999
+        doc = {"format": "bench-history", "schema_version": SCHEMA_VERSION,
+               "max_entries": 20, "entries": [old, new]}
+        path = tmp_path / "history.json"
+        path.write_text(json.dumps(doc))
+        loaded = load_trajectory(str(path))
+        assert loaded["scenarios"]["tracking"]["counters"][
+            "pixel.fwd.num_sort_keys"] == 999
+
+    def test_empty_history_is_an_error(self, tmp_path):
+        from repro.obs.regress import load_trajectory
+
+        path = tmp_path / "history.json"
+        path.write_text(json.dumps({"format": "bench-history",
+                                    "entries": []}))
+        with pytest.raises(ValueError, match="no entries"):
+            load_trajectory(str(path))
+
+    def test_compare_files_accepts_history_current(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(make_payload()))
+        hist = tmp_path / "hist.json"
+        hist.write_text(json.dumps({"format": "bench-history",
+                                    "entries": [make_payload()]}))
+        assert compare_files(str(hist), str(base)).passed
+
+
 class TestCompareFiles:
     def test_round_trip_via_files(self, tmp_path):
         a = tmp_path / "a.json"

@@ -227,6 +227,16 @@ class TestRunAggregator:
         agg.consume("span", {"name": "slam.track"})
         assert agg.frames_seen == 0
 
+    def test_registry_event_lands_in_snapshot(self):
+        agg = RunAggregator()
+        assert agg.snapshot()["registry"] is None
+        agg.consume("registry", {"run_id": "rdeadbeef0123", "seq": 4,
+                                 "root": ".repro/runs", "runs_total": 4})
+        snap = agg.snapshot()
+        assert snap["registry"]["run_id"] == "rdeadbeef0123"
+        assert snap["registry"]["runs_total"] == 4
+        json.dumps(snap)
+
     def test_snapshot_is_json_ready(self):
         agg = RunAggregator()
         agg.consume("header", {"frames": 1})
@@ -290,6 +300,84 @@ class TestStreamer:
     def test_bad_tcp_target_rejected(self):
         with pytest.raises(ValueError, match="tcp"):
             TelemetryStreamer("tcp://nohost").start(background=False)
+
+    @staticmethod
+    def _refused_port():
+        """A port nothing is listening on (bound, then released)."""
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_tcp_connection_refused_at_start_is_nonfatal(self):
+        """A dead collector must not take the run down: the streamer
+        starts failed, the run proceeds, and every event is accounted
+        for in the drop counter."""
+        bus = TelemetryBus(enabled=True)
+        port = self._refused_port()
+        streamer = TelemetryStreamer(f"tcp://127.0.0.1:{port}", bus_=bus)
+        streamer.start(background=False)
+        assert streamer.failed
+        assert streamer.error is not None
+        for i in range(3):
+            bus.publish("frame", {"frame": i})
+        assert streamer.pump() == 0
+        stats = streamer.stop()
+        assert stats["lines"] == 0
+        assert stats["dropped"] == 3
+        assert stats["error"] is not None
+        assert streamer.lines_written + streamer.dropped == bus.published()
+
+    def test_strict_start_raises_on_refused_connection(self):
+        port = self._refused_port()
+        with pytest.raises(OSError):
+            TelemetryStreamer(f"tcp://127.0.0.1:{port}").start(
+                background=False, strict=True)
+
+    def test_tcp_peer_disconnect_mid_stream_counts_drops(self):
+        """A collector dying mid-run marks the streamer failed and the
+        lines_written + dropped accounting stays exact."""
+        import time
+
+        server = socket.create_server(("127.0.0.1", 0))
+        host, port = server.getsockname()
+        first_line = []
+
+        def accept_then_reset():
+            conn, _ = server.accept()
+            first_line.append(conn.makefile("r").readline())
+            # SO_LINGER zero: close sends RST so the client's next
+            # write fails promptly instead of buffering forever.
+            conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            __import__("struct").pack("ii", 1, 0))
+            conn.close()
+
+        thread = threading.Thread(target=accept_then_reset, daemon=True)
+        thread.start()
+        bus = TelemetryBus(enabled=True)
+        streamer = TelemetryStreamer(f"tcp://{host}:{port}", bus_=bus)
+        streamer.start(background=False)
+        assert not streamer.failed
+        bus.publish("frame", {"frame": 0})
+        assert streamer.pump() == 1
+        thread.join(timeout=5.0)
+        server.close()
+        # Keep publishing until a write trips over the dead peer (the
+        # kernel may buffer a few sends before surfacing the RST).
+        deadline = time.time() + 10.0
+        i = 1
+        while not streamer.failed and time.time() < deadline:
+            bus.publish("frame", {"frame": i})
+            streamer.pump()
+            i += 1
+            time.sleep(0.01)
+        assert streamer.failed, "peer disconnect never surfaced"
+        stats = streamer.stop()
+        assert stats["error"] is not None
+        assert stats["dropped"] > 0
+        # Every published event is either written or counted dropped.
+        assert stats["lines"] + stats["dropped"] == bus.published()
+        assert json.loads(first_line[0])["data"] == {"frame": 0}
 
     def test_background_pump_drains_on_interval(self, tmp_path):
         bus = TelemetryBus(enabled=True)

@@ -107,6 +107,24 @@ class TestRenderDashboard:
         text = render_dashboard({}, color=False)
         assert "repro top" in text
 
+    def test_registry_footer_names_the_registered_run(self):
+        snap = _snapshot()
+        snap["registry"] = {"run_id": "rdeadbeef0123",
+                            "root": ".repro/runs",
+                            "runs_total": 7}
+        text = render_dashboard(snap, color=False)
+        assert "registered:" in text
+        assert "rdeadbeef0123" in text
+        assert ".repro/runs" in text and "7 runs" in text
+        assert "repro runs show rdeadbeef0123" in text
+
+    def test_no_registry_event_means_no_footer(self):
+        assert "registered:" not in render_dashboard(_snapshot(),
+                                                     color=False)
+        snap = _snapshot()
+        snap["registry"] = {}        # event seen but empty: still silent
+        assert "registered:" not in render_dashboard(snap, color=False)
+
 
 class TestSources:
     @pytest.mark.parametrize("endpoint,expected", [
@@ -129,6 +147,8 @@ class TestSources:
             assert snap["frames_total"] == 2 and snap["frames_seen"] == 1
             bus.publish("summary", {"frames": 1})
             assert source.snapshot()["done"]
+            bus.publish("registry", {"run_id": "rabc", "runs_total": 1})
+            assert source.snapshot()["registry"]["run_id"] == "rabc"
         finally:
             source.close()
         assert bus.subscriber_count == 0
