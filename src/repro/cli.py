@@ -156,9 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_slam.add_argument("--height", type=int, default=48)
     p_slam.add_argument("--tracking-tile", type=int, default=8)
     p_slam.add_argument("--kernel-backend",
-                        choices=["reference", "vectorized"], default=None,
+                        choices=["reference", "vectorized", "parallel"],
+                        default=None,
                         help="sparse-kernel backend (default: "
                              "$REPRO_KERNEL_BACKEND or 'reference')")
+    p_slam.add_argument("--kernel-workers", type=int, default=None,
+                        help="worker-pool size for the 'parallel' backend "
+                             "(default: $REPRO_KERNEL_WORKERS or CPU count)")
     p_slam.add_argument("--per-pixel-records", action="store_true",
                         help="keep the per-item stats record lists during "
                              "the run (off by default: nothing in this "
@@ -228,9 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--height", type=int, default=36)
     p_trace.add_argument("--tracking-tile", type=int, default=8)
     p_trace.add_argument("--kernel-backend",
-                         choices=["reference", "vectorized"], default=None,
+                         choices=["reference", "vectorized", "parallel"],
+                         default=None,
                          help="sparse-kernel backend (default: "
                               "$REPRO_KERNEL_BACKEND or 'reference')")
+    p_trace.add_argument("--kernel-workers", type=int, default=None,
+                         help="worker-pool size for the 'parallel' backend "
+                              "(default: $REPRO_KERNEL_WORKERS or CPU "
+                              "count)")
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", default="trace.json",
                          help="Chrome trace-event JSON output path")
@@ -263,10 +272,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated scenario subset (default: all)")
     b_run.add_argument("--sequence", default="room0")
     b_run.add_argument("--kernel-backend",
-                       choices=["reference", "vectorized"], default=None,
+                       choices=["reference", "vectorized", "parallel"],
+                       default=None,
                        help="sparse-kernel backend for the suite's "
                             "renders (exported as $REPRO_KERNEL_BACKEND; "
-                            "the 'kernels' scenario always measures both)")
+                            "the 'kernels' scenario always measures all "
+                            "backends)")
+    b_run.add_argument("--kernel-workers", type=int, default=None,
+                       help="worker-pool size for the 'parallel' backend "
+                            "(exported as $REPRO_KERNEL_WORKERS)")
     b_run.add_argument("--seed", type=int, default=0)
     b_run.add_argument("--out", default="BENCH_trajectory.json",
                        help="trajectory JSON output path")
@@ -481,6 +495,7 @@ def _cmd_slam(args) -> int:
         splatonic_config=SplatonicConfig(
             tracking_tile=args.tracking_tile,
             kernel_backend=args.kernel_backend,
+            kernel_workers=args.kernel_workers,
             record_per_pixel=args.per_pixel_records),
         seed=args.seed)
     flight = None
@@ -687,7 +702,8 @@ def _cmd_trace(args) -> int:
         args.algorithm, mode=args.mode,
         splatonic_config=SplatonicConfig(
             tracking_tile=args.tracking_tile,
-            kernel_backend=args.kernel_backend),
+            kernel_backend=args.kernel_backend,
+            kernel_workers=args.kernel_workers),
         seed=args.seed)
     note(f"tracing {args.algorithm} ({args.mode}) ...")
     with trace.capture(memory=args.profile_memory or None):
@@ -760,6 +776,8 @@ def _cmd_bench_run(args) -> int:
         # Scenarios build their own systems; the environment variable is
         # the one channel that reaches all of them.
         os.environ["REPRO_KERNEL_BACKEND"] = args.kernel_backend
+    if args.kernel_workers:
+        os.environ["REPRO_KERNEL_WORKERS"] = str(args.kernel_workers)
     cfg = obs_bench.SuiteConfig(size=args.size, repetitions=args.reps,
                                 sequence=args.sequence, seed=args.seed)
     names = ([s.strip() for s in args.scenarios.split(",") if s.strip()]

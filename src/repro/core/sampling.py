@@ -200,6 +200,7 @@ def sample_mapping_pixels(
     include_unseen: bool = True,
     include_weighted: bool = True,
     uniform_weights: bool = False,
+    weight: np.ndarray | None = None,
 ) -> MappingSamples:
     """Select mapping pixels per Fig. 12.
 
@@ -215,6 +216,12 @@ def sample_mapping_pixels(
     uniform_weights:
         Replace the texture weight with a constant (plain random per tile),
         another Fig. 24 ablation arm.
+    weight:
+        Precomputed ``(H, W)`` texture-weight map (the Sobel magnitude of
+        ``image``).  Keyframe colors never change, so callers can memoize
+        the map (:meth:`repro.slam.keyframes.Keyframe.texture_weight`)
+        and skip the per-invocation filter; ``uniform_weights`` takes
+        precedence.  The sampled sets are identical either way.
     """
     rng = rng or np.random.default_rng()
     gamma_final = np.asarray(gamma_final, dtype=float)
@@ -227,8 +234,10 @@ def sample_mapping_pixels(
         unseen = np.zeros((0, 2), dtype=int)
 
     if include_weighted:
-        weight = (np.ones((height, width)) if uniform_weights
-                  else sobel_magnitude(image))
+        if uniform_weights:
+            weight = np.ones((height, width))
+        elif weight is None:
+            weight = sobel_magnitude(image)
         # P(p) = w_R(p) * r with r ~ U(0, 1): the argmax per tile is a
         # weighted random draw (larger w_R wins more often).
         score = weight * rng.random((height, width))

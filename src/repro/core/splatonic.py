@@ -48,9 +48,14 @@ class SplatonicConfig:
     # "one full-frame mapping for every four frames"; older keyframes in
     # the window always stay sparse.
     full_mapping_every: int = 1
-    # Sparse-kernel backend ("reference" / "vectorized"); None resolves via
-    # $REPRO_KERNEL_BACKEND, falling back to the registry default.
+    # Sparse-kernel backend ("reference" / "vectorized" / "parallel");
+    # None resolves via $REPRO_KERNEL_BACKEND, falling back to the
+    # registry default.
     kernel_backend: Optional[str] = None
+    # Worker-pool size for the "parallel" backend (ignored by the
+    # single-core backends); None resolves via $REPRO_KERNEL_WORKERS,
+    # falling back to the CPU count.
+    kernel_workers: Optional[int] = None
     # Per-item stats record lists (pixel_list_lengths, per_pixel_contribs,
     # pixel_contrib_ids, tile_work).  The hardware-model replay streams need
     # them; long SLAM / benchmark runs turn them off to keep rendering free
@@ -95,8 +100,15 @@ class Splatonic:
         )
 
     def sample_mapping(self, gamma_final: np.ndarray,
-                       image: np.ndarray) -> MappingSamples:
-        """Draw the mapping pixel sets from the first forward pass' Γ map."""
+                       image: np.ndarray,
+                       weight: Optional[np.ndarray] = None) -> MappingSamples:
+        """Draw the mapping pixel sets from the first forward pass' Γ map.
+
+        ``weight`` optionally supplies a precomputed texture-weight map
+        (the Sobel magnitude of ``image``) so callers that render the
+        same keyframe repeatedly — the mapper's window loop — can reuse
+        a memoized map instead of recomputing the filter each time.
+        """
         return sample_mapping_pixels(
             gamma_final, image,
             tile=self.config.mapping_tile,
@@ -104,6 +116,7 @@ class Splatonic:
             include_unseen=self.config.mapping_unseen,
             include_weighted=self.config.mapping_weighted,
             uniform_weights=self.config.mapping_uniform_weights,
+            weight=weight,
         )
 
     def next_mapping_is_full_frame(self) -> bool:
@@ -139,6 +152,7 @@ class Splatonic:
             backend=self.config.kernel_backend,
             lattice_tile=lattice_tile,
             record_per_pixel=self.config.record_per_pixel,
+            kernel_workers=self.config.kernel_workers,
         )
 
     def backward_sparse(self, result: SparseRenderResult,

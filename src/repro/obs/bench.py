@@ -296,9 +296,13 @@ _KERNEL_TILE = 4
 _KERNEL_REPS = 3
 
 
+#: Worker-pool size of the kernel scenario's ``parallel`` leg.
+_KERNEL_BENCH_WORKERS = 4
+
+
 @scenario("kernels",
-          "sparse tracking render, reference vs vectorized kernel backend: "
-          "bit-identity check + wall-clock speedup")
+          "sparse tracking render, reference vs vectorized vs parallel "
+          "kernel backend: bit-identity check + wall-clock speedup")
 def _scn_kernels(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
     import numpy as np
 
@@ -314,11 +318,14 @@ def _scn_kernels(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
     counters: Dict[str, float] = {}
     walls: Dict[str, float] = {}
     outputs: Dict[str, Any] = {}
-    for backend in ("reference", "vectorized"):
+    for backend in ("reference", "vectorized", "parallel"):
+        workers = _KERNEL_BENCH_WORKERS if backend == "parallel" else None
+
         def iteration(record: bool = False):
             result = render_sparse(
                 bundle.cloud, bundle.camera, pixels,
                 backend=backend, lattice_tile=_KERNEL_TILE,
+                kernel_workers=workers,
                 record_per_pixel=record)
             grads = backward_sparse(
                 result, bundle.cloud, bundle.camera,
@@ -337,24 +344,38 @@ def _scn_kernels(cfg: SuiteConfig) -> Dict[str, Dict[str, float]]:
         walls[backend] = (perf_counter() - start) / _KERNEL_REPS
         outputs[backend] = (result, grads)
 
-    ref_r, ref_g = outputs["reference"]
-    vec_r, vec_g = outputs["vectorized"]
-    identical = (
-        np.array_equal(ref_r.color, vec_r.color)
-        and np.array_equal(ref_r.depth, vec_r.depth)
-        and np.array_equal(ref_r.silhouette, vec_r.silhouette)
-        and np.array_equal(ref_g.d_means, vec_g.d_means)
-        and np.array_equal(ref_g.d_colors, vec_g.d_colors)
-        and ref_r.stats.as_dict() == vec_r.stats.as_dict()
-        and ref_g.stats.as_dict() == vec_g.stats.as_dict())
-    counters["backends_identical"] = int(identical)
+    def _identical(a, b) -> bool:
+        a_r, a_g = a
+        b_r, b_g = b
+        return (
+            np.array_equal(a_r.color, b_r.color)
+            and np.array_equal(a_r.depth, b_r.depth)
+            and np.array_equal(a_r.silhouette, b_r.silhouette)
+            and np.array_equal(a_g.d_means, b_g.d_means)
+            and np.array_equal(a_g.d_colors, b_g.d_colors)
+            and a_r.stats.as_dict() == b_r.stats.as_dict()
+            and a_g.stats.as_dict() == b_g.stats.as_dict())
+
+    counters["backends_identical"] = int(
+        _identical(outputs["reference"], outputs["vectorized"]))
+    # The sharded backend's determinism contract: bit-identical to the
+    # vectorized kernel it decomposes (outputs, gradients, and counters).
+    counters["parallel_identical"] = int(
+        _identical(outputs["vectorized"], outputs["parallel"]))
 
     info = {
         "wall.reference_s": walls["reference"],
         "wall.vectorized_s": walls["vectorized"],
+        "wall.parallel_s": walls["parallel"],
         "speedup.vectorized_over_reference": (
             walls["reference"] / walls["vectorized"]
             if walls["vectorized"] else 0.0),
+        # >1 needs real cores: thread shards only overlap where numpy
+        # releases the GIL, so single-core hosts measure ~1x or below.
+        "speedup.parallel_over_vectorized": (
+            walls["vectorized"] / walls["parallel"]
+            if walls["parallel"] else 0.0),
+        "workers.parallel": _KERNEL_BENCH_WORKERS,
     }
     return {"counters": counters, "model": {}, "info": info}
 

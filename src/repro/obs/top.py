@@ -154,6 +154,23 @@ def _progress_bar(current: Optional[int], total: Optional[int],
     return f"[{'#' * filled}{'.' * (width - filled)}] {current + 1}/{total}"
 
 
+def _kernel_label(header: Dict[str, Any]) -> str:
+    """``backend`` or ``backend x<workers>`` from the flight header config.
+
+    Surfaces the run's execution backend so wall-time deltas between
+    registry runs can be attributed to backend/worker-count changes
+    straight from the dashboard.  Empty for pre-backend flight records.
+    """
+    config = header.get("config") or {}
+    backend = config.get("kernel_backend")
+    if not backend:
+        return ""
+    workers = config.get("kernel_workers")
+    if workers and int(workers) > 1:
+        return f"{backend} x{int(workers)}"
+    return str(backend)
+
+
 def _spark_range(values: List[float]) -> str:
     finite = [v for v in values if isinstance(v, (int, float))
               and math.isfinite(float(v))]
@@ -189,11 +206,15 @@ def render_dashboard(snapshot: Dict[str, Any], width: int = 100,
     lines.append(title)
 
     walls = series.get("wall_time_s") or []
-    lines.append(
+    status = (
         f"  fps {_num(snapshot.get('fps'))}"
         f" · frame wall {_num(walls[-1] if walls else None)} s"
         f" · gaussians {_num(snapshot.get('gaussians'))}"
         f" · keyframes {_num(keyframe.get('buffer_size'))}")
+    kern = _kernel_label(header)
+    if kern:
+        status += f" · kernel {kern}"
+    lines.append(status)
     pose_line = (
         f"  pose rmse so far {_cm(snapshot.get('pose_rmse_so_far_m'))}"
         f" · last err {_cm(snapshot.get('pose_error_m'))}")
@@ -264,6 +285,9 @@ def render_dashboard(snapshot: Dict[str, Any], width: int = 100,
         if "tracking_iterations" in summary:
             final_lines.append(
                 f"    {summary['tracking_iterations']} iterations total")
+        kern = _kernel_label(header)
+        if kern:
+            final_lines.append(f"    kernel backend {kern}")
         lines.extend(final_lines)
 
     registry = snapshot.get("registry") or {}

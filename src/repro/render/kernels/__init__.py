@@ -13,11 +13,19 @@ The pixel pipeline's forward/backward passes are implemented by swappable
   pair gradients in one shot before a single ``np.add.at`` aggregation
   (the scoreboard/merge-unit analogue).  Bit-identical to the reference —
   outputs, gradients, and every ``PipelineStats`` counter.
+- ``"parallel"``   — the vectorized kernels run per contiguous pixel
+  shard on a persistent worker (thread) pool, standing in for the
+  accelerator's parallel rasterization engines.  Workers return per-pair
+  gradient partials; the parent applies one global pixel-major
+  ``np.add.at`` over the concatenated shards (a software aggregation
+  scoreboard), so no float reassociation ever occurs and the backend
+  stays bit-identical to ``vectorized`` at every worker count.  Worker
+  count: ``workers=`` argument > ``REPRO_KERNEL_WORKERS`` > CPU count.
 
 Backend resolution order: explicit ``backend=`` argument, then the
 ``REPRO_KERNEL_BACKEND`` environment variable, then :data:`DEFAULT_BACKEND`.
 
-Both backends consume the same candidate pair list
+All backends consume the same candidate pair list
 (:mod:`repro.render.kernels.candidates`) and the same preemptive-α filter
 run by :func:`repro.core.pixel_pipeline.render_sparse`, so candidate /
 α-check / sort-key counters are shared by construction; the equivalence
@@ -64,6 +72,11 @@ class KernelBackend:
     # Gaussian falloff).  The reference loop recomputes inside
     # composite_forward — that's the point of an oracle.
     wants_pair_alpha: bool = False
+    # Whether forward() accepts a ``workers=`` keyword (the parallel
+    # backend).  The pipeline only threads ``kernel_workers`` through to
+    # backends that declare it, so single-core backends keep their exact
+    # signatures.
+    accepts_workers: bool = False
 
 
 _REGISTRY: Dict[str, KernelBackend] = {}
@@ -98,3 +111,4 @@ def get_kernel(name=None) -> KernelBackend:
 # Importing the implementations registers them.
 from . import reference as _reference  # noqa: E402,F401
 from . import vectorized as _vectorized  # noqa: E402,F401
+from . import parallel as _parallel  # noqa: E402,F401

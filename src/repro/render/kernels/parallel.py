@@ -1,0 +1,313 @@
+"""Parallel sparse kernels: sharded-pixel execution on a persistent pool.
+
+The software analogue of SPLATONIC's parallel rasterization engines:
+the sampled pixel list is split into **contiguous shards**, each shard
+runs the vectorized kernel on a worker of a persistent thread pool
+(created once per worker count and reused across optimizer iterations),
+and the backward pass aggregates through a software scoreboard:
+
+- **forward** — pixels are independent, so each shard computes its slice
+  of the output images in place.  The vectorized kernel's global
+  ``(pixel, depth, index)`` lexsort is pixel-major-primary, which makes
+  the per-shard sorts exact sub-sequences of the global sort — shard
+  outputs, pixel lists, and caches concatenate bit-identically.
+- **backward** — workers return per-pair ``(gaussian_index, partial)``
+  gradients only (:func:`repro.render.kernels.vectorized.pair_gradients`);
+  the parent concatenates the shards in shard (= pixel-major canonical)
+  order and applies **one** global ``np.add.at`` per gradient array.
+  The (index, value) sequence is identical to the vectorized backend's
+  single-threaded scatter, so no float reassociation ever occurs and
+  gradients are bit-identical at every worker count.
+
+Threads, not processes: the heavy numpy ops release the GIL, nothing is
+pickled, and output slices are written in place.  ``PipelineStats``
+counters and record streams are collected per shard and folded into the
+caller's stats in shard order — bit-identical to the vectorized
+backend's streams.  Worker shard timings land in the parent trace as
+``render.shard_fwd`` / ``render.shard_bwd`` spans tagged ``worker=i``.
+
+Worker-count resolution: explicit ``workers=`` argument >
+``$REPRO_KERNEL_WORKERS`` > ``os.cpu_count()``.  With one worker (or a
+pixel set too small to shard) both passes route straight to the
+vectorized code path — same outputs, same stats, no pool dispatch.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter, thread_time_ns
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...obs.tracing import trace
+from ..stats import PipelineStats
+from . import KernelBackend, register_kernel
+from .candidates import CandidatePairs
+from . import vectorized
+
+__all__ = [
+    "ENV_WORKERS",
+    "MIN_SHARD_PIXELS",
+    "ShardedCompositeCache",
+    "resolve_workers",
+    "shard_bounds",
+    "forward",
+    "backward",
+]
+
+#: Environment variable consulted when no explicit worker count is given.
+ENV_WORKERS = "REPRO_KERNEL_WORKERS"
+
+#: Upper bound on the worker pool size (a runaway-env-var backstop).
+MAX_WORKERS = 32
+
+#: Minimum pixels per shard: below this the per-shard dispatch overhead
+#: dwarfs the kernel work, so the shard count is capped at
+#: ``K // MIN_SHARD_PIXELS`` (and a single shard falls back to the
+#: vectorized path outright).
+MIN_SHARD_PIXELS = 8
+
+#: Persistent pools, keyed by worker count — created once, reused across
+#: every render/backward of every optimizer iteration.
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the worker count: arg > ``$REPRO_KERNEL_WORKERS`` > CPUs."""
+    if workers is None:
+        env = os.environ.get(ENV_WORKERS)
+        try:
+            workers = int(env) if env else (os.cpu_count() or 1)
+        except ValueError:
+            workers = os.cpu_count() or 1
+    return max(1, min(int(workers), MAX_WORKERS))
+
+
+def _get_pool(workers: int) -> ThreadPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ThreadPoolExecutor(max_workers=workers,
+                                  thread_name_prefix="repro-kernel")
+        _POOLS[workers] = pool
+    return pool
+
+
+def shard_bounds(num_pixels: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced ``[lo, hi)`` pixel ranges (array_split sizes)."""
+    shards = max(1, min(int(shards), int(num_pixels)))
+    base, rem = divmod(int(num_pixels), shards)
+    bounds = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+@dataclass
+class ShardedCompositeCache:
+    """Forward state of a sharded render: one vectorized cache per shard.
+
+    ``bounds[i]`` is the contiguous ``[lo, hi)`` pixel range of shard
+    ``i``; ``shards[i]`` is that shard's
+    :class:`~repro.render.kernels.vectorized.FlatCompositeCache`, or
+    ``None`` when the shard had no surviving candidate pairs.
+    """
+
+    bounds: List[Tuple[int, int]]
+    shards: List[Optional[vectorized.FlatCompositeCache]]
+    workers: int  # pool size the forward pass ran with
+
+
+def _local_stats(stats: PipelineStats) -> PipelineStats:
+    """A fresh per-shard stats sink mirroring the caller's record flag."""
+    return PipelineStats(pipeline=stats.pipeline,
+                         record_per_pixel=stats.record_per_pixel)
+
+
+def _fold_stats(parent: PipelineStats, local: PipelineStats) -> None:
+    """Fold one shard's kernel counters/records into the caller's stats.
+
+    Only the fields the vectorized kernels mutate; shards fold in shard
+    (= pixel-major) order, so the record streams concatenate into exactly
+    the sequences the single-threaded vectorized pass emits.
+    """
+    parent.num_candidate_pairs += local.num_candidate_pairs
+    parent.num_contrib_pairs += local.num_contrib_pairs
+    parent.num_atomic_adds += local.num_atomic_adds
+    parent.pixel_list_lengths.extend(local.pixel_list_lengths)
+    parent.per_pixel_contribs.extend(local.per_pixel_contribs)
+    parent.pixel_contrib_ids.extend(local.pixel_contrib_ids)
+
+
+def _emit_shard_spans(name: str, timings, bounds) -> None:
+    """Land worker-timed shard spans in the parent trace (worker= tag)."""
+    if not trace.enabled:
+        return
+    for i, (start, duration, cpu_s) in enumerate(timings):
+        lo, hi = bounds[i]
+        trace.add_external_span(name, start, duration, cpu_time=cpu_s,
+                                worker=i, pixels=hi - lo,
+                                backend="parallel")
+
+
+def forward(proj, pairs, centres, background, alpha_threshold, t_min,
+            keep_cache, exp_fn, stats, color, depth, silhouette,
+            pair_alpha=None, pair_clipped=None, contribs_out=None,
+            workers=None):
+    """Sharded forward pass: the vectorized kernel per contiguous shard.
+
+    Signature-compatible with the vectorized forward plus ``workers=``
+    (the pipeline passes ``SplatonicConfig.kernel_workers`` through).
+    Outputs, pixel lists, stats, and atlas counts are bit-identical to
+    the vectorized backend's by construction.
+    """
+    K = pairs.num_pixels
+    n_workers = resolve_workers(workers)
+    n_shards = min(n_workers, max(1, K // MIN_SHARD_PIXELS))
+    if pairs.size == 0 or n_workers <= 1 or n_shards <= 1:
+        # Graceful single-worker fallback: straight to the vectorized
+        # code path — no pool, no shard bookkeeping.
+        return vectorized.forward(
+            proj, pairs, centres, background, alpha_threshold, t_min,
+            keep_cache, exp_fn, stats, color, depth, silhouette,
+            pair_alpha=pair_alpha, pair_clipped=pair_clipped,
+            contribs_out=contribs_out)
+
+    bounds = shard_bounds(K, n_shards)
+    # Group the flat pair list by shard: a stable argsort on the shard id
+    # keeps pairs in their incoming order within each shard (the
+    # vectorized lexsort re-sorts per shard anyway).
+    edges = np.array([hi for _, hi in bounds])
+    shard_of = np.searchsorted(edges, pairs.pix, side="right")
+    order = np.argsort(shard_of, kind="stable")
+    counts = np.bincount(shard_of, minlength=len(bounds))
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+
+    def run_shard(i: int):
+        lo, hi = bounds[i]
+        start = perf_counter()
+        cpu0 = thread_time_ns()
+        sel = order[offsets[i]:offsets[i + 1]]
+        local = _local_stats(stats)
+        sub_pairs = CandidatePairs(pix=pairs.pix[sel] - lo,
+                                   gss=pairs.gss[sel],
+                                   num_pixels=hi - lo)
+        out = vectorized.forward(
+            proj, sub_pairs, centres[lo:hi], background, alpha_threshold,
+            t_min, keep_cache, exp_fn, local,
+            color[lo:hi], depth[lo:hi], silhouette[lo:hi],
+            pair_alpha=None if pair_alpha is None else pair_alpha[sel],
+            pair_clipped=(None if pair_clipped is None
+                          else pair_clipped[sel]),
+            contribs_out=(None if contribs_out is None
+                          else contribs_out[lo:hi]))
+        timing = (start, perf_counter() - start,
+                  (thread_time_ns() - cpu0) * 1e-9)
+        return out, local, timing
+
+    pool = _get_pool(n_workers)
+    results = [f.result()
+               for f in [pool.submit(run_shard, i)
+                         for i in range(len(bounds))]]
+
+    pixel_lists: List[np.ndarray] = []
+    shard_caches: List[Optional[vectorized.FlatCompositeCache]] = []
+    timings = []
+    for (lists, _caches, fc), local, timing in results:
+        pixel_lists.extend(lists)
+        shard_caches.append(fc)
+        _fold_stats(stats, local)
+        timings.append(timing)
+    _emit_shard_spans("render.shard_fwd", timings, bounds)
+
+    flat_cache = None
+    if keep_cache:
+        flat_cache = ShardedCompositeCache(bounds=bounds,
+                                           shards=shard_caches,
+                                           workers=n_workers)
+    return pixel_lists, [None] * K, flat_cache
+
+
+def backward(result, proj, d_color, d_depth, d_silhouette, pg, stats,
+             contribs_out=None):
+    """Sharded backward pass with deterministic gradient aggregation.
+
+    Workers compute per-pair gradient partials for their shard; the
+    parent concatenates the shards in pixel-major canonical order and
+    issues one global sequential ``np.add.at`` per gradient array (the
+    software scoreboard) — the exact (index, value) sequence of the
+    vectorized backend, hence bit-identical accumulations.
+    """
+    fc = result.flat_cache
+    if fc is None:
+        return
+    if not isinstance(fc, ShardedCompositeCache):
+        # Single-worker fallback (or a cache from another backend):
+        # delegate wholesale to the vectorized path.
+        return vectorized.backward(result, proj, d_color, d_depth,
+                                   d_silhouette, pg, stats,
+                                   contribs_out=contribs_out)
+
+    bounds = fc.bounds
+
+    def run_shard(i: int):
+        lo, hi = bounds[i]
+        start = perf_counter()
+        cpu0 = thread_time_ns()
+        sub = fc.shards[i]
+        local = _local_stats(stats)
+        grads = None
+        if sub is not None:
+            grads = vectorized.pair_gradients(
+                sub, proj, d_color[lo:hi], d_depth[lo:hi],
+                d_silhouette[lo:hi])
+            vectorized.accumulate_backward_stats(
+                local, sub, grads, proj,
+                contribs_out=(None if contribs_out is None
+                              else contribs_out[lo:hi]))
+        timing = (start, perf_counter() - start,
+                  (thread_time_ns() - cpu0) * 1e-9)
+        return grads, local, timing
+
+    pool = _get_pool(fc.workers)
+    results = [f.result()
+               for f in [pool.submit(run_shard, i)
+                         for i in range(len(bounds))]]
+
+    parts = [grads for grads, _local, _t in results if grads is not None]
+    if parts:
+        merged = vectorized.PairGradients(
+            idx=np.concatenate([p.idx for p in parts]),
+            d_mean2d=np.concatenate([p.d_mean2d for p in parts]),
+            d_sigma2d=np.concatenate([p.d_sigma2d for p in parts]),
+            d_opacity=np.concatenate([p.d_opacity for p in parts]),
+            d_color=np.concatenate([p.d_color for p in parts]),
+            d_depth=np.concatenate([p.d_depth for p in parts]),
+            touched=np.concatenate([p.touched for p in parts]),
+            contrib_flat=np.concatenate([p.contrib_flat for p in parts]),
+        )
+        vectorized.scatter_pair_gradients(pg, merged)
+    timings = []
+    for _grads, local, timing in results:
+        _fold_stats(stats, local)
+        timings.append(timing)
+    _emit_shard_spans("render.shard_bwd", timings, bounds)
+
+
+register_kernel(KernelBackend(
+    name="parallel",
+    description=("vectorized kernels sharded over a persistent worker "
+                 "pool with scoreboard-order gradient aggregation"),
+    forward=forward,
+    backward=backward,
+    # Shard selection regroups the flat pair list itself; like the
+    # vectorized backend, pre-sorted pixel-major input buys nothing.
+    needs_pixel_major_pairs=False,
+    wants_pair_alpha=True,
+    accepts_workers=True,
+))

@@ -31,7 +31,15 @@ import numpy as np
 
 from ..compositing import ALPHA_MAX
 
-__all__ = ["FlatCompositeCache", "forward", "backward"]
+__all__ = [
+    "FlatCompositeCache",
+    "PairGradients",
+    "forward",
+    "backward",
+    "pair_gradients",
+    "scatter_pair_gradients",
+    "accumulate_backward_stats",
+]
 
 
 @dataclass
@@ -164,21 +172,38 @@ def forward(proj, pairs, centres, background, alpha_threshold, t_min,
     return pixel_lists, [None] * K, flat_cache
 
 
-def backward(result, proj, d_color, d_depth, d_silhouette, pg, stats,
-             contribs_out=None):
-    """Batched backward pass over the padded forward cache.
+@dataclass
+class PairGradients:
+    """Flat per-pair gradient partials in canonical order.
+
+    The pair sequence is the forward pass's global (pixel, depth, index)
+    lexsort restricted to the valid (non-padding) entries — pixel-major,
+    front-to-back.  ``scatter_pair_gradients`` consumes these with one
+    sequential ``np.add.at`` per array, so any concatenation of
+    ``PairGradients`` computed over contiguous pixel shards (in shard
+    order) reproduces the exact global accumulation sequence — the
+    software analogue of the accelerator's aggregation scoreboard.
+    """
+
+    idx: np.ndarray           # (P,) projected-Gaussian index per pair
+    d_mean2d: np.ndarray      # (P, 2)
+    d_sigma2d: np.ndarray     # (P,)
+    d_opacity: np.ndarray     # (P,)
+    d_color: np.ndarray       # (P, 3)
+    d_depth: np.ndarray       # (P,)
+    touched: np.ndarray       # (K,) per-pixel contributing-pair counts
+    contrib_flat: np.ndarray  # (P,) bool — pair actually contributed
+
+
+def pair_gradients(fc, proj, d_color, d_depth, d_silhouette):
+    """Compute every per-pair gradient partial; no aggregation.
 
     Every arithmetic expression mirrors :func:`composite_backward` term
     for term (same operand values, same association order), and padding
-    only ever adds exact zeros, so all pair gradients — and after the
-    single pixel-major ``np.add.at``, all per-Gaussian accumulations —
-    are bit-identical to the reference loop's.
+    only ever adds exact zeros — all math here is elementwise per pixel
+    row, so running it over a contiguous pixel shard yields bit-identical
+    values to the corresponding rows of the global pass.
     """
-    fc = result.flat_cache
-    if fc is None:
-        return
-    record = stats.record_per_pixel
-
     alpha = fc.alpha
     gamma = fc.gamma
     contrib = fc.contrib
@@ -226,34 +251,65 @@ def backward(result, proj, d_color, d_depth, d_silhouette, pg, stats,
     d_color_pairs = weight[:, :, None] * d_color[:, None, :]
     d_depth_pairs = weight * d_depth[:, None]
 
-    # Aggregation: one scatter-add per gradient array over all valid pairs
-    # in row-major (= pixel-major, depth-sorted) order — the identical
-    # (index, value) sequence the reference's per-pixel np.add.at calls
-    # issue, zero-valued non-contributing pairs included.
+    # Flatten over all valid pairs in row-major (= pixel-major,
+    # depth-sorted) order — the identical (index, value) sequence the
+    # reference's per-pixel np.add.at calls issue, zero-valued
+    # non-contributing pairs included.
     sel = fc.valid
-    idx = fc.gpad[sel]
-    np.add.at(pg.d_mean2d, idx,
-              np.stack([d_mean_u[sel], d_mean_v[sel]], axis=-1))
-    np.add.at(pg.d_sigma2d, idx, d_sigma[sel])
-    np.add.at(pg.d_opacity, idx, d_opacity[sel])
-    np.add.at(pg.d_color, idx, d_color_pairs[sel])
-    np.add.at(pg.d_depth, idx, d_depth_pairs[sel])
+    return PairGradients(
+        idx=fc.gpad[sel],
+        d_mean2d=np.stack([d_mean_u[sel], d_mean_v[sel]], axis=-1),
+        d_sigma2d=d_sigma[sel],
+        d_opacity=d_opacity[sel],
+        d_color=d_color_pairs[sel],
+        d_depth=d_depth_pairs[sel],
+        touched=contrib.sum(axis=1),
+        contrib_flat=contrib[sel],
+    )
 
-    touched = contrib.sum(axis=1)
+
+def scatter_pair_gradients(pg, grads: PairGradients) -> None:
+    """Aggregate pair partials: one sequential scatter-add per array."""
+    np.add.at(pg.d_mean2d, grads.idx, grads.d_mean2d)
+    np.add.at(pg.d_sigma2d, grads.idx, grads.d_sigma2d)
+    np.add.at(pg.d_opacity, grads.idx, grads.d_opacity)
+    np.add.at(pg.d_color, grads.idx, grads.d_color)
+    np.add.at(pg.d_depth, grads.idx, grads.d_depth)
+
+
+def accumulate_backward_stats(stats, fc, grads: PairGradients, proj,
+                              contribs_out=None) -> None:
+    """Fold one (shard's) backward pass into ``stats`` + atlas counts."""
+    touched = grads.touched
     total_touched = int(touched.sum())
     if contribs_out is not None:
         contribs_out[:] = touched
     stats.num_candidate_pairs += int(fc.lengths.sum())
     stats.num_contrib_pairs += total_touched
     stats.num_atomic_adds += total_touched
-    if record:
+    if stats.record_per_pixel:
         nonzero = fc.lengths > 0
         stats.pixel_list_lengths.extend(int(n) for n in fc.lengths[nonzero])
         stats.per_pixel_contribs.extend(int(c) for c in touched[nonzero])
-        contrib_flat = contrib[sel]
-        ids = proj.source_index[fc.gss[contrib_flat]]
+        ids = proj.source_index[fc.gss[grads.contrib_flat]]
         splits = np.cumsum(touched[nonzero])[:-1]
         stats.pixel_contrib_ids.extend(np.split(ids, splits))
+
+
+def backward(result, proj, d_color, d_depth, d_silhouette, pg, stats,
+             contribs_out=None):
+    """Batched backward pass over the padded forward cache.
+
+    Pair partials from :func:`pair_gradients` aggregated by the single
+    pixel-major ``np.add.at`` of :func:`scatter_pair_gradients` — all
+    per-Gaussian accumulations are bit-identical to the reference loop's.
+    """
+    fc = result.flat_cache
+    if fc is None:
+        return
+    grads = pair_gradients(fc, proj, d_color, d_depth, d_silhouette)
+    scatter_pair_gradients(pg, grads)
+    accumulate_backward_stats(stats, fc, grads, proj, contribs_out)
 
 
 from . import KernelBackend, register_kernel  # noqa: E402

@@ -15,11 +15,12 @@ Two selection policies are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
+from ..core.features import sobel_magnitude
 from ..gaussians.camera import Camera, Intrinsics
 
 __all__ = ["Keyframe", "KeyframeBuffer", "view_overlap"]
@@ -51,6 +52,18 @@ class Keyframe:
     pose_c2w: np.ndarray
     color: np.ndarray
     depth: np.ndarray
+    # Lazily memoized Sobel texture-weight map of ``color``.  Keyframe
+    # colors never change, but the mapper re-samples every window
+    # keyframe on every invocation — without the cache it recomputes the
+    # same filter response each time.  Excluded from equality/repr.
+    _texture_weight: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False)
+
+    def texture_weight(self) -> np.ndarray:
+        """``(H, W)`` Sobel magnitude of ``color``, computed once."""
+        if self._texture_weight is None:
+            self._texture_weight = sobel_magnitude(self.color)
+        return self._texture_weight
 
 
 class KeyframeBuffer:

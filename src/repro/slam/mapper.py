@@ -176,14 +176,18 @@ class Mapper:
                         kf_pixels.append(None)
                         continue
                     samples = self.splatonic.sample_mapping(
-                        gamma_final, current.color)
+                        gamma_final, current.color,
+                        weight=current.texture_weight())
                     px = samples.all_pixels
                     sample_info.update(samples.counts())
                 else:
                     # Older keyframes: no fresh Gamma map; use the
-                    # texture-weighted lattice only.
+                    # texture-weighted lattice only.  The Sobel weight is
+                    # memoized on the keyframe (colors never change), so
+                    # repeat invocations skip the filter recompute.
                     samples = self.splatonic.sample_mapping(
-                        np.zeros_like(gamma_final), kf.color)
+                        np.zeros_like(gamma_final), kf.color,
+                        weight=kf.texture_weight())
                     px = samples.all_pixels
                 kf_pixels.append(np.atleast_2d(px))
             else:

@@ -109,10 +109,11 @@ class SLAMSystem:
         bootstrap_stride: int = 2,
         kernel_backend: Optional[str] = None,
         record_per_pixel: Optional[bool] = None,
+        kernel_workers: Optional[int] = None,
     ):
-        """``kernel_backend`` / ``record_per_pixel`` override the matching
-        :class:`SplatonicConfig` fields when given (``None`` keeps the
-        config's value)."""
+        """``kernel_backend`` / ``record_per_pixel`` / ``kernel_workers``
+        override the matching :class:`SplatonicConfig` fields when given
+        (``None`` keeps the config's value)."""
         self.algo: AlgorithmConfig = (
             algorithm if isinstance(algorithm, AlgorithmConfig)
             else get_algorithm(algorithm))
@@ -125,6 +126,8 @@ class SLAMSystem:
             overrides["kernel_backend"] = kernel_backend
         if record_per_pixel is not None:
             overrides["record_per_pixel"] = record_per_pixel
+        if kernel_workers is not None:
+            overrides["kernel_workers"] = kernel_workers
         if overrides:
             config = config.with_overrides(**overrides)
         self.splatonic = Splatonic(config, rng=np.random.default_rng(seed))
@@ -207,6 +210,11 @@ class SLAMSystem:
                     "map_every": self.algo.map_every,
                     "keyframe_every": self.algo.keyframe_every,
                     "keyframe_window": self.algo.keyframe_window,
+                    # The *resolved* execution backend, so registry
+                    # triage can attribute wall-time deltas to backend
+                    # or worker-count changes.
+                    "kernel_backend": self.resolved_kernel_backend(),
+                    "kernel_workers": self.effective_kernel_workers(),
                 })
 
         tracker = Tracker(self.algo, intr, self.splatonic, self.mode,
@@ -353,6 +361,8 @@ class SLAMSystem:
                         self.splatonic.config.tracking_strategy,
                     "kernel_backend":
                         self.splatonic.config.kernel_backend,
+                    "kernel_workers":
+                        self.splatonic.config.kernel_workers,
                     "map_every": self.algo.map_every,
                     "keyframe_every": self.algo.keyframe_every,
                     "keyframe_window": self.algo.keyframe_window,
@@ -362,6 +372,23 @@ class SLAMSystem:
         return result
 
     # ---- helpers ----
+
+    def resolved_kernel_backend(self) -> str:
+        """The sparse-kernel backend this run actually executes with
+        (config > ``$REPRO_KERNEL_BACKEND`` > registry default)."""
+        from ..render.kernels import resolve_backend
+        return resolve_backend(self.splatonic.config.kernel_backend)
+
+    def effective_kernel_workers(self) -> int:
+        """The worker-pool size this run actually renders with.
+
+        1 for the single-core backends; for ``parallel`` the resolved
+        pool size (config > ``$REPRO_KERNEL_WORKERS`` > CPU count).
+        """
+        if self.resolved_kernel_backend() != "parallel":
+            return 1
+        from ..render.kernels.parallel import resolve_workers
+        return resolve_workers(self.splatonic.config.kernel_workers)
 
     @staticmethod
     def _observe_frame(recorder, monitor, *, frame, pose_est, pose_gt,

@@ -162,6 +162,48 @@ class TestMapper:
         assert result.num_pruned >= 5
 
 
+class TestTextureWeightMemo:
+    """Keyframe colors never change, so the Sobel texture weight is
+    memoized on the keyframe — and must leave the drawn mapping sample
+    sets bit-identical to an on-the-fly recompute."""
+
+    def test_memoized_weight_matches_recompute(self, scene):
+        from repro.core.features import sobel_magnitude
+
+        frame = scene[0]
+        kf = Keyframe(0, frame.gt_pose_c2w, frame.color, frame.depth)
+        assert np.array_equal(kf.texture_weight(),
+                              sobel_magnitude(frame.color))
+
+    def test_weight_cached_on_keyframe(self, scene):
+        frame = scene[0]
+        kf = Keyframe(0, frame.gt_pose_c2w, frame.color, frame.depth)
+        first = kf.texture_weight()
+        assert kf.texture_weight() is first  # no recompute
+
+    def test_sample_sets_identical_cached_vs_recomputed(self, scene):
+        frame = scene[0]
+        kf = Keyframe(0, frame.gt_pose_c2w, frame.color, frame.depth)
+        gamma = np.full(frame.depth.shape, 0.4)
+        fresh = Splatonic(rng=np.random.default_rng(7))
+        cached = Splatonic(rng=np.random.default_rng(7))
+        a = fresh.sample_mapping(gamma, frame.color)
+        b = cached.sample_mapping(gamma, frame.color,
+                                  weight=kf.texture_weight())
+        assert np.array_equal(a.all_pixels, b.all_pixels)
+        assert a.counts() == b.counts()
+
+    def test_cache_does_not_break_membership(self, scene):
+        """Dataclass equality (`kf in window`) still short-circuits on
+        the index — the cache field is excluded from comparison."""
+        frame = scene[0]
+        kf = Keyframe(0, frame.gt_pose_c2w, frame.color, frame.depth)
+        other = Keyframe(1, frame.gt_pose_c2w, frame.color, frame.depth)
+        kf.texture_weight()
+        assert kf in [kf, other]
+        assert other in [kf, other]
+
+
 class TestKeyframeBuffer:
     def test_cadence(self):
         buf = KeyframeBuffer(keyframe_every=4, window=3)
