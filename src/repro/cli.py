@@ -163,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_slam.add_argument("--kernel-workers", type=int, default=None,
                         help="worker-pool size for the 'parallel' backend "
                              "(default: $REPRO_KERNEL_WORKERS or CPU count)")
+    p_slam.add_argument("--render-cache", action="store_true", default=None,
+                        help="enable the temporal-coherence render cache "
+                             "(cross-iteration candidate reuse with exact "
+                             "revalidation; bit-identical outputs; default: "
+                             "$REPRO_RENDER_CACHE or off)")
     p_slam.add_argument("--per-pixel-records", action="store_true",
                         help="keep the per-item stats record lists during "
                              "the run (off by default: nothing in this "
@@ -240,6 +245,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker-pool size for the 'parallel' backend "
                               "(default: $REPRO_KERNEL_WORKERS or CPU "
                               "count)")
+    p_trace.add_argument("--render-cache", action="store_true", default=None,
+                         help="enable the temporal-coherence render cache "
+                              "(default: $REPRO_RENDER_CACHE or off); the "
+                              "trace gains render.cache_validate/_rebuild "
+                              "spans")
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", default="trace.json",
                          help="Chrome trace-event JSON output path")
@@ -281,6 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
     b_run.add_argument("--kernel-workers", type=int, default=None,
                        help="worker-pool size for the 'parallel' backend "
                             "(exported as $REPRO_KERNEL_WORKERS)")
+    b_run.add_argument("--render-cache", action="store_true", default=None,
+                       help="enable the temporal-coherence render cache for "
+                            "the suite's SLAM-loop renders (exported as "
+                            "$REPRO_RENDER_CACHE; the tracking/mapping "
+                            "scenarios always measure cache-on vs cache-off "
+                            "legs)")
     b_run.add_argument("--seed", type=int, default=0)
     b_run.add_argument("--out", default="BENCH_trajectory.json",
                        help="trajectory JSON output path")
@@ -496,7 +512,8 @@ def _cmd_slam(args) -> int:
             tracking_tile=args.tracking_tile,
             kernel_backend=args.kernel_backend,
             kernel_workers=args.kernel_workers,
-            record_per_pixel=args.per_pixel_records),
+            record_per_pixel=args.per_pixel_records,
+            render_cache=args.render_cache),
         seed=args.seed)
     flight = None
     health = None
@@ -703,7 +720,8 @@ def _cmd_trace(args) -> int:
         splatonic_config=SplatonicConfig(
             tracking_tile=args.tracking_tile,
             kernel_backend=args.kernel_backend,
-            kernel_workers=args.kernel_workers),
+            kernel_workers=args.kernel_workers,
+            render_cache=args.render_cache),
         seed=args.seed)
     note(f"tracing {args.algorithm} ({args.mode}) ...")
     with trace.capture(memory=args.profile_memory or None):
@@ -778,6 +796,8 @@ def _cmd_bench_run(args) -> int:
         os.environ["REPRO_KERNEL_BACKEND"] = args.kernel_backend
     if args.kernel_workers:
         os.environ["REPRO_KERNEL_WORKERS"] = str(args.kernel_workers)
+    if args.render_cache:
+        os.environ["REPRO_RENDER_CACHE"] = "1"
     cfg = obs_bench.SuiteConfig(size=args.size, repetitions=args.reps,
                                 sequence=args.sequence, seed=args.seed)
     names = ([s.strip() for s in args.scenarios.split(",") if s.strip()]

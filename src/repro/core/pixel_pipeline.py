@@ -54,6 +54,7 @@ from ..render.compositing import (
     T_MIN,
     CompositeCache,
 )
+from ..render.cache import RenderCache
 from ..render.kernels import get_kernel, resolve_backend
 from ..render.kernels.candidates import (
     CandidatePairs,
@@ -146,6 +147,7 @@ def render_sparse(
     lattice_tile: Optional[int] = None,
     record_per_pixel: bool = True,
     kernel_workers: Optional[int] = None,
+    cache: Optional[RenderCache] = None,
 ) -> SparseRenderResult:
     """Render only the sampled ``pixels`` with the pixel-based pipeline.
 
@@ -165,6 +167,13 @@ def render_sparse(
     layout), candidates come from direct index arithmetic instead of a
     bbox scan.  ``record_per_pixel=False`` skips the per-item stats record
     lists (hardware-model replay streams); scalar counters are unaffected.
+
+    ``cache`` is an optional :class:`repro.render.cache.RenderCache` —
+    the temporal-coherence cache replaces the projection + candidate
+    generation stages with an exactly revalidated cross-iteration lookup
+    (bit-identical pairs/outputs; see :mod:`repro.render.cache`).  The
+    logical workload counters are unaffected; the cache's own hit/miss/
+    rebuild counters land in the separate ``cache_*`` stats fields.
     """
     intr = camera.intrinsics
     bg = DEFAULT_BACKGROUND if background is None else np.asarray(background, float)
@@ -173,8 +182,14 @@ def render_sparse(
     backend_name = resolve_backend(backend)
     kernel = get_kernel(backend_name)
 
-    with trace.span("render.project", pipeline="pixel"):
-        proj = project_gaussians(cloud, camera)
+    cached_pairs = None
+    if cache is not None:
+        with trace.span("render.project", pipeline="pixel", cached=True):
+            proj, cached_pairs, lookup = cache.project_and_candidates(
+                cloud, camera, pixels, lattice_tile=lattice_tile)
+    else:
+        with trace.span("render.project", pipeline="pixel"):
+            proj = project_gaussians(cloud, camera)
     stats = PipelineStats(
         pipeline="pixel",
         image_width=intr.width,
@@ -184,6 +199,11 @@ def render_sparse(
         num_pixels=K,
         record_per_pixel=record_per_pixel,
     )
+    if cache is not None:
+        stats.cache_hits += int(lookup.hit)
+        stats.cache_misses += int(not lookup.hit)
+        stats.cache_rebuilds += int(lookup.rebuilt)
+        stats.cache_active_gaussians += int(lookup.active_gaussians)
 
     color = np.tile(bg, (K, 1))
     depth = np.zeros(K)
@@ -204,10 +224,15 @@ def render_sparse(
     centres = pixels + 0.5
     with trace.span("render.alpha_check", pipeline="pixel",
                     backend=backend_name):
-        pairs = candidate_pairs(
-            pixels, centres, proj.bbox(),
-            lattice_tile=lattice_tile, width=intr.width,
-            pixel_major=kernel.needs_pixel_major_pairs)
+        if cached_pairs is not None:
+            # The cache already produced the exact pair list (pixel-major
+            # canonical order, which satisfies every backend).
+            pairs = cached_pairs
+        else:
+            pairs = candidate_pairs(
+                pixels, centres, proj.bbox(),
+                lattice_tile=lattice_tile, width=intr.width,
+                pixel_major=kernel.needs_pixel_major_pairs)
         n_candidates = pairs.size
         stats.num_candidate_pairs += n_candidates
         # α is evaluated once per candidate either way: preemptively here,

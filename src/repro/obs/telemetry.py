@@ -305,6 +305,7 @@ class RunAggregator:
         ("mapping_loss", "mapping.final_loss"),
         ("gaussians", "gaussians"),
         ("alpha_rejection", "alpha.rejection_rate"),
+        ("cache_hit_rate", "cache.hit_rate"),
         ("wall_time_s", "wall_time_s"),
     )
 
@@ -421,6 +422,7 @@ class RunAggregator:
             "sampling": sampling,
             "keyframe": last.get("keyframe"),
             "counters": last.get("counters"),
+            "cache": last.get("cache"),
             "series": {key: list(values)
                        for key, values in sorted(self.series.items())},
             "alerts": list(self.alerts),

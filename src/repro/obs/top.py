@@ -47,6 +47,7 @@ _SPARK_ROWS = (
     ("track loss", "tracking_loss"),
     ("map loss", "mapping_loss"),
     ("gaussians", "gaussians"),
+    ("cache hit rate", "cache_hit_rate"),
     ("frame wall (s)", "wall_time_s"),
 )
 
@@ -166,9 +167,12 @@ def _kernel_label(header: Dict[str, Any]) -> str:
     if not backend:
         return ""
     workers = config.get("kernel_workers")
+    label = str(backend)
     if workers and int(workers) > 1:
-        return f"{backend} x{int(workers)}"
-    return str(backend)
+        label = f"{backend} x{int(workers)}"
+    if config.get("render_cache"):
+        label += "+cache"
+    return label
 
 
 def _spark_range(values: List[float]) -> str:
@@ -255,6 +259,15 @@ def render_dashboard(snapshot: Dict[str, Any], width: int = 100,
             counter_bits.append(f"{stage} contrib {_num(pairs)}")
     if counter_bits:
         lines.append(f"  {dim}counters: {' · '.join(counter_bits)}{reset}")
+
+    cache = snapshot.get("cache") or {}
+    if (cache.get("hits") or 0) + (cache.get("misses") or 0):
+        lines.append(
+            f"  {dim}render cache: hit rate "
+            f"{100.0 * (cache.get('hit_rate') or 0.0):.0f}%"
+            f" · hits {_num(cache.get('hits'))}"
+            f" · misses {_num(cache.get('misses'))}"
+            f" · rebuilds {_num(cache.get('rebuilds'))}{reset}")
 
     alerts = snapshot.get("alerts") or []
     count = snapshot.get("alert_count") or 0

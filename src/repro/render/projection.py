@@ -4,18 +4,33 @@ Transforms Gaussians into the camera frame, culls those outside the view
 frustum, and computes their 2D splat parameters: the projected mean, the
 isotropic 2D standard deviation, and the bounding-box radius used by the
 tile/pixel intersection logic downstream.
+
+The raw vectorized math lives in :func:`projection_arrays` /
+:func:`projection_keep_mask` / :func:`gather_projected` so that other
+consumers — the temporal-coherence render cache in
+:mod:`repro.render.cache` revalidates its memoized candidate superset
+with exactly these expressions — stay bit-identical to
+:func:`project_gaussians` by construction, not by duplication.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
 from ..gaussians.camera import Camera
 from ..gaussians.model import GaussianCloud
 
-__all__ = ["ProjectedGaussians", "project_gaussians", "RADIUS_SIGMA"]
+__all__ = [
+    "ProjectedGaussians",
+    "project_gaussians",
+    "projection_arrays",
+    "projection_keep_mask",
+    "gather_projected",
+    "RADIUS_SIGMA",
+]
 
 # Splat truncation radius in units of sigma.  Chosen so that a splat's
 # bounding box is a *conservative* filter for the default alpha threshold:
@@ -53,17 +68,18 @@ class ProjectedGaussians:
         return np.concatenate([lo, hi], axis=1)
 
 
-def project_gaussians(
+def projection_arrays(
     cloud: GaussianCloud,
     camera: Camera,
     near: float = 0.01,
     far: float = 1e6,
     margin_sigma: float = RADIUS_SIGMA,
-) -> ProjectedGaussians:
-    """Project a Gaussian cloud into a camera and cull off-screen splats.
+) -> Tuple[np.ndarray, ...]:
+    """Full-cloud projection math, no culling/gathering.
 
-    A Gaussian survives if its centre is within ``[near, far]`` in depth and
-    its ``margin_sigma``-radius footprint overlaps the image rectangle.
+    Returns ``(p_cam, z, in_depth, u, v, sigma, radius)`` — all length-N
+    arrays over the whole cloud.  Entries failing the depth test hold
+    placeholder (finite) projected values via the ``z_safe`` guard.
     """
     intr = camera.intrinsics
     p_cam = camera.world_to_camera(cloud.means)
@@ -77,16 +93,28 @@ def project_gaussians(
     v = intr.fy * p_cam[:, 1] / z_safe + intr.cy
     sigma = mean_focal * cloud.scales / z_safe
     radius = margin_sigma * sigma
+    return p_cam, z, in_depth, u, v, sigma, radius
 
+
+def projection_keep_mask(in_depth: np.ndarray, u: np.ndarray, v: np.ndarray,
+                         radius: np.ndarray, width: int,
+                         height: int) -> np.ndarray:
+    """The survival mask of :func:`project_gaussians`: in-depth and the
+    radius-dilated footprint overlaps the image rectangle."""
     on_screen = (
         (u + radius > 0.0)
-        & (u - radius < intr.width)
+        & (u - radius < width)
         & (v + radius > 0.0)
-        & (v - radius < intr.height)
+        & (v - radius < height)
     )
-    keep = in_depth & on_screen
-    idx = np.nonzero(keep)[0]
+    return in_depth & on_screen
 
+
+def gather_projected(cloud: GaussianCloud, idx: np.ndarray,
+                     p_cam: np.ndarray, z: np.ndarray, u: np.ndarray,
+                     v: np.ndarray, sigma: np.ndarray,
+                     radius: np.ndarray) -> ProjectedGaussians:
+    """Subset the full-cloud projection arrays into a ProjectedGaussians."""
     return ProjectedGaussians(
         source_index=idx,
         p_cam=p_cam[idx],
@@ -97,3 +125,24 @@ def project_gaussians(
         color=np.clip(cloud.colors[idx], 0.0, 1.0),
         radius=radius[idx],
     )
+
+
+def project_gaussians(
+    cloud: GaussianCloud,
+    camera: Camera,
+    near: float = 0.01,
+    far: float = 1e6,
+    margin_sigma: float = RADIUS_SIGMA,
+) -> ProjectedGaussians:
+    """Project a Gaussian cloud into a camera and cull off-screen splats.
+
+    A Gaussian survives if its centre is within ``[near, far]`` in depth and
+    its ``margin_sigma``-radius footprint overlaps the image rectangle.
+    """
+    intr = camera.intrinsics
+    p_cam, z, in_depth, u, v, sigma, radius = projection_arrays(
+        cloud, camera, near, far, margin_sigma)
+    keep = projection_keep_mask(in_depth, u, v, radius,
+                                intr.width, intr.height)
+    idx = np.nonzero(keep)[0]
+    return gather_projected(cloud, idx, p_cam, z, u, v, sigma, radius)

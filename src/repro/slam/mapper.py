@@ -167,6 +167,13 @@ class Mapper:
             "full_frame": bool(full_frame or self.mode == "dense"),
         }
         kf_pixels = []
+        # Per-keyframe loop invariants, gathered once per invocation:
+        # the reference color/depth at the sampled pixels (the pixel set
+        # is fixed for the whole iteration loop) and one
+        # temporal-coherence render cache per keyframe stream (fixed
+        # camera + pixels; the Gaussian parameters drift by Adam steps).
+        kf_refs = []
+        kf_caches = []
         for kf in window:
             if self.mode == "sparse":
                 if kf.index == current.index:
@@ -174,6 +181,8 @@ class Mapper:
                         # A None entry routes this keyframe through the
                         # dense tile-pipeline branch below.
                         kf_pixels.append(None)
+                        kf_refs.append(None)
+                        kf_caches.append(None)
                         continue
                     samples = self.splatonic.sample_mapping(
                         gamma_final, current.color,
@@ -189,9 +198,18 @@ class Mapper:
                         np.zeros_like(gamma_final), kf.color,
                         weight=kf.texture_weight())
                     px = samples.all_pixels
-                kf_pixels.append(np.atleast_2d(px))
+                px = np.atleast_2d(px)
+                kf_pixels.append(px)
+                if px.shape[0]:
+                    kf_refs.append((kf.color[px[:, 1], px[:, 0]],
+                                    kf.depth[px[:, 1], px[:, 0]]))
+                else:
+                    kf_refs.append(None)
+                kf_caches.append(self.splatonic.make_render_cache("mapping"))
             else:
                 kf_pixels.append(None)
+                kf_refs.append(None)
+                kf_caches.append(None)
 
         n = len(cloud)
         adam = Adam(8 * n, _mapping_lr(self.algo, n))
@@ -208,9 +226,9 @@ class Mapper:
                 with trace.span("mapping_fwd", iteration=it,
                                 keyframe=kf.index):
                     result = self.splatonic.render_sparse(
-                        cloud, cam, px, self.background)
-                    ref_c = kf.color[px[:, 1], px[:, 0]]
-                    ref_d = kf.depth[px[:, 1], px[:, 0]]
+                        cloud, cam, px, self.background,
+                        cache=kf_caches[kf_i])
+                    ref_c, ref_d = kf_refs[kf_i]
                     out = rgbd_loss(result.color, result.depth,
                                     result.silhouette, ref_c, ref_d,
                                     self.algo.mapping_loss, tracking=False)

@@ -110,10 +110,11 @@ class SLAMSystem:
         kernel_backend: Optional[str] = None,
         record_per_pixel: Optional[bool] = None,
         kernel_workers: Optional[int] = None,
+        render_cache: Optional[bool] = None,
     ):
         """``kernel_backend`` / ``record_per_pixel`` / ``kernel_workers``
-        override the matching :class:`SplatonicConfig` fields when given
-        (``None`` keeps the config's value)."""
+        / ``render_cache`` override the matching :class:`SplatonicConfig`
+        fields when given (``None`` keeps the config's value)."""
         self.algo: AlgorithmConfig = (
             algorithm if isinstance(algorithm, AlgorithmConfig)
             else get_algorithm(algorithm))
@@ -128,6 +129,8 @@ class SLAMSystem:
             overrides["record_per_pixel"] = record_per_pixel
         if kernel_workers is not None:
             overrides["kernel_workers"] = kernel_workers
+        if render_cache is not None:
+            overrides["render_cache"] = render_cache
         if overrides:
             config = config.with_overrides(**overrides)
         self.splatonic = Splatonic(config, rng=np.random.default_rng(seed))
@@ -215,6 +218,7 @@ class SLAMSystem:
                     # or worker-count changes.
                     "kernel_backend": self.resolved_kernel_backend(),
                     "kernel_workers": self.effective_kernel_workers(),
+                    "render_cache": self.resolved_render_cache(),
                 })
 
         tracker = Tracker(self.algo, intr, self.splatonic, self.mode,
@@ -379,6 +383,11 @@ class SLAMSystem:
         from ..render.kernels import resolve_backend
         return resolve_backend(self.splatonic.config.kernel_backend)
 
+    def resolved_render_cache(self) -> bool:
+        """Whether this run renders through the temporal-coherence cache
+        (config > ``$REPRO_RENDER_CACHE`` > off)."""
+        return self.splatonic.render_cache_enabled()
+
     def effective_kernel_workers(self) -> int:
         """The worker-pool size this run actually renders with.
 
@@ -412,6 +421,19 @@ class SLAMSystem:
         if mapping is not None:
             counters["mapping_fwd"] = mapping.forward_stats.headline()
             counters["mapping_bwd"] = mapping.backward_stats.headline()
+        # Render-cache accounting (forward passes own the lookups).  Not
+        # a diff channel: the cached/uncached equivalence differ must see
+        # identical payloads everywhere else, while this block carries
+        # the strategy-level hit/miss telemetry.
+        cache = PipelineStats()
+        for src in (tracking, mapping):
+            if src is not None:
+                stats = src.forward_stats
+                cache.cache_hits += stats.cache_hits
+                cache.cache_misses += stats.cache_misses
+                cache.cache_rebuilds += stats.cache_rebuilds
+                cache.cache_active_gaussians += stats.cache_active_gaussians
+        cache_block = cache.cache_summary()
 
         record = {
             "type": "frame",
@@ -445,6 +467,7 @@ class SLAMSystem:
                 "rejection_rate": (1.0 - contrib / candidate
                                    if candidate else 0.0),
             },
+            "cache": cache_block,
             "counters": counters,
             "wall_time_s": (None if wall_time_s is None
                             else float(wall_time_s)),
@@ -462,6 +485,8 @@ class SLAMSystem:
             obs_metrics.set_gauge("slam.gaussians", float(cloud_size))
             obs_metrics.set_gauge(
                 "slam.pose_error_m", float(record["pose_error_m"]))
+            obs_metrics.set_gauge(
+                "slam.cache_hit_rate", float(cache_block["hit_rate"]))
             obs_metrics.publish_snapshot()
         return len(monitor.alerts)
 

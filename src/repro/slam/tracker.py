@@ -106,6 +106,9 @@ class Tracker:
             ref_c = ref_color[pixels[:, 1], pixels[:, 0]]
             ref_d = ref_depth[pixels[:, 1], pixels[:, 0]]
             num_sampled = int(len(pixels))
+            # One temporal-coherence cache per frame: the pixel set is
+            # fixed for the whole pose optimization, only the pose drifts.
+            render_cache = self.splatonic.make_render_cache("tracking")
         else:
             num_sampled = int(ref_depth.size)
 
@@ -121,7 +124,8 @@ class Tracker:
                 with trace.span("tracking_fwd", iteration=it):
                     result = self.splatonic.render_sparse(
                         cloud, camera, pixels, self.background,
-                        lattice_tile=self.splatonic.config.tracking_tile)
+                        lattice_tile=self.splatonic.config.tracking_tile,
+                        cache=render_cache)
                     out = rgbd_loss(result.color, result.depth,
                                     result.silhouette, ref_c, ref_d,
                                     self.algo.tracking_loss, tracking=True)
